@@ -1,0 +1,107 @@
+// Command edgerepgen generates and inspects the problem inputs: two-tier
+// edge-cloud topologies (the paper's GT-ITM setup), query workloads, and
+// synthetic mobile-app-usage traces. Output is JSON for piping into other
+// tools, or a human-readable description.
+//
+// Usage:
+//
+//	edgerepgen -describe                  # summarize the default topology (Fig. 1)
+//	edgerepgen -kind topology -size 100   # JSON topology with 100 compute nodes
+//	edgerepgen -kind workload -queries 60 # JSON workload on the default topology
+//	edgerepgen -kind trace -records 5000  # JSON usage trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "topology", "what to generate: topology, workload, or trace")
+		describe = flag.Bool("describe", false, "print a summary instead of JSON")
+		size     = flag.Int("size", 0, "compute-node count for scaled topologies (0 = paper default 30)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		queries  = flag.Int("queries", 60, "workload query count")
+		datasets = flag.Int("datasets", 12, "workload dataset count")
+		records  = flag.Int("records", 10000, "trace record count")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "edgerepgen: %v\n", err)
+		os.Exit(1)
+	}
+	emit := func(v interface{}) {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fail(err)
+		}
+	}
+
+	buildTopology := func() *topology.Topology {
+		tc := topology.DefaultConfig()
+		if *size > 0 {
+			tc = topology.ScaledConfig(*size, *seed)
+		}
+		tc.Seed = *seed
+		top, err := topology.Generate(tc)
+		if err != nil {
+			fail(err)
+		}
+		return top
+	}
+
+	switch *kind {
+	case "topology":
+		top := buildTopology()
+		if *describe {
+			fmt.Println(top.Describe())
+			return
+		}
+		if err := top.Save(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "workload":
+		top := buildTopology()
+		wc := workload.DefaultConfig()
+		wc.Seed = *seed
+		wc.NumQueries = *queries
+		wc.NumDatasets = *datasets
+		w, err := workload.Generate(wc, top)
+		if err != nil {
+			fail(err)
+		}
+		if *describe {
+			fmt.Printf("workload: %d datasets, %d queries, total demanded volume %.1f GB\n",
+				len(w.Datasets), len(w.Queries), w.TotalDemandedVolume())
+			return
+		}
+		if err := w.Save(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "trace":
+		tc := workload.DefaultTraceConfig()
+		tc.Seed = *seed
+		tc.Records = *records
+		recs, err := workload.GenerateTrace(tc)
+		if err != nil {
+			fail(err)
+		}
+		if *describe {
+			fmt.Printf("trace: %d records, %d users, %d apps, %d days\n",
+				len(recs), tc.Users, tc.Apps, tc.Days)
+			return
+		}
+		emit(recs)
+	default:
+		fmt.Fprintf(os.Stderr, "edgerepgen: unknown kind %q (want topology, workload, or trace)\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,156 @@
+// Command edgerepplace runs one placement algorithm on one instance and
+// emits the placement plan as JSON — the composable building block of the
+// toolchain (edgerepgen generates inputs, edgerepplace decides, the plan is
+// appliable/diffable).
+//
+// Usage:
+//
+//	edgerepplace -algo appro -size 50 -queries 60 -k 3 > plan.json
+//	edgerepplace -algo greedy -seed 7 -summary
+//	edgerepplace -algo appro -diff plan.json   # replica moves vs a saved plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgerep/internal/baselines"
+	"edgerep/internal/cluster"
+	"edgerep/internal/core"
+	"edgerep/internal/placement"
+	"edgerep/internal/routing"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "appro", "algorithm: appro, greedy, graph, popularity")
+		size     = flag.Int("size", 0, "compute-node count (0 = paper default 30)")
+		seed     = flag.Int64("seed", 1, "topology/workload seed")
+		queries  = flag.Int("queries", 60, "query count")
+		datasets = flag.Int("datasets", 12, "dataset count")
+		k        = flag.Int("k", 3, "replica bound K")
+		f        = flag.Int("f", 5, "max datasets per query F")
+		summary  = flag.Bool("summary", false, "print summary instead of the JSON plan")
+		diffPath = flag.String("diff", "", "diff the new plan against a saved plan file")
+		topoPath = flag.String("topo", "", "load the topology from a JSON file (edgerepgen -kind topology) instead of generating")
+		wlPath   = flag.String("workload", "", "load the workload from a JSON file (edgerepgen -kind workload) instead of generating")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "edgerepplace: %v\n", err)
+		os.Exit(1)
+	}
+
+	var top *topology.Topology
+	var err error
+	if *topoPath != "" {
+		fh, err2 := os.Open(*topoPath)
+		if err2 != nil {
+			fail(err2)
+		}
+		top, err = topology.Load(fh)
+		fh.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		tc := topology.DefaultConfig()
+		if *size > 0 {
+			tc = topology.ScaledConfig(*size, *seed)
+		}
+		tc.Seed = *seed
+		top, err = topology.Generate(tc)
+		if err != nil {
+			fail(err)
+		}
+	}
+	var w *workload.Workload
+	if *wlPath != "" {
+		fh, err2 := os.Open(*wlPath)
+		if err2 != nil {
+			fail(err2)
+		}
+		w, err = workload.LoadWorkload(fh)
+		fh.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		wc := workload.DefaultConfig()
+		wc.Seed = *seed
+		wc.NumQueries = *queries
+		wc.NumDatasets = *datasets
+		wc.MaxDatasetsPerQuery = *f
+		w, err = workload.Generate(wc, top)
+		if err != nil {
+			fail(err)
+		}
+	}
+	prob, err := placement.NewProblem(cluster.New(top), w, *k)
+	if err != nil {
+		fail(err)
+	}
+
+	var sol *placement.Solution
+	switch *algo {
+	case "appro":
+		res, err := core.ApproG(prob, core.Options{})
+		if err != nil {
+			fail(err)
+		}
+		sol = res.Solution
+	case "greedy":
+		sol, err = baselines.GreedyG(prob)
+	case "graph":
+		sol, err = baselines.GraphG(prob)
+	case "popularity":
+		sol, err = baselines.PopularityG(prob)
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := sol.Validate(prob); err != nil {
+		fail(fmt.Errorf("produced plan is infeasible: %w", err))
+	}
+
+	if *diffPath != "" {
+		fh, err := os.Open(*diffPath)
+		if err != nil {
+			fail(err)
+		}
+		old, err := placement.Load(fh)
+		fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		d := placement.DiffReplicas(old, sol)
+		fmt.Printf("replica moves vs %s: %d (add/remove per dataset below)\n", *diffPath, d.Moves())
+		for n, vs := range d.Add {
+			fmt.Printf("  dataset %d: add %v\n", n, vs)
+		}
+		for n, vs := range d.Remove {
+			fmt.Printf("  dataset %d: remove %v\n", n, vs)
+		}
+		return
+	}
+
+	if *summary {
+		fmt.Printf("%s: %v\n", *algo, sol.Summarize(prob))
+		fp, err := routing.MeasureFootprint(prob, sol, routing.NewRouter(top))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("network: %.1f GB·hops query traffic, %.1f GB·hops replication, bottleneck link %v-%v carries %.1f GB\n",
+			fp.TotalGBHops, fp.ReplicationGBHops, fp.MaxLink.From, fp.MaxLink.To, fp.MaxLinkGB)
+		return
+	}
+	if err := sol.Save(os.Stdout); err != nil {
+		fail(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Command edgerepsim regenerates the paper's simulation figures (Figs. 2–5):
+// the volume of datasets demanded by admitted queries and the system
+// throughput of Appro-S/G against the Greedy and Graph baselines, swept over
+// network size, the per-query demanded-set bound F, and the replica bound K.
+//
+// Usage:
+//
+//	edgerepsim -fig 3                # one figure, paper-scale (15 seeds)
+//	edgerepsim -fig all -quick       # every figure, reduced seeds
+//	edgerepsim -fig 5 -csv           # machine-readable output
+//	edgerepsim -seeds 5 -queries 80  # custom scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgerep/internal/experiments"
+	"edgerep/internal/metrics"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
+		quick    = flag.Bool("quick", false, "reduced seeds and sweep points for a fast run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seeds    = flag.Int("seeds", 0, "override the number of topology seeds (0 = config default)")
+		queries  = flag.Int("queries", 0, "override the number of queries (0 = config default)")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
+		ext      = flag.Bool("extensions", false, "run the extension experiments (proactive vs reactive, online vs offline, optimality gap)")
+	)
+	flag.Parse()
+
+	if *ext {
+		simCfg := experiments.DefaultSimConfig()
+		if *quick {
+			simCfg = experiments.QuickSimConfig()
+		}
+		emit := func(t *metrics.Table, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepsim: extensions: %v\n", err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Print(t.CSV())
+				fmt.Println()
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		emit(experiments.ProactiveVsReactive(simCfg))
+		emit(experiments.OnlineVsOffline(simCfg, []float64{2, 10, 50, 1000}))
+		gapTab, points, err := experiments.OptimalityGap([]int64{1, 2, 3, 4, 5})
+		emit(gapTab, err)
+		worst := 1.0
+		for _, gp := range points {
+			if g := gp.Gap(); g > worst {
+				worst = g
+			}
+		}
+		fmt.Printf("worst optimum/Appro-G ratio across tiny instances: %.3f\n", worst)
+		return
+	}
+
+	if *ablation {
+		acfg := experiments.DefaultAblationConfig()
+		if *quick {
+			acfg.Seeds = acfg.Seeds[:3]
+		}
+		drivers := []func(experiments.AblationConfig) (*metrics.Table, error){
+			experiments.AblationPriceBase,
+			experiments.AblationReplicaPrice,
+			experiments.AblationDelayPrice,
+			experiments.AblationMechanisms,
+			experiments.AblationTopologyModel,
+		}
+		for _, d := range drivers {
+			t, err := d(acfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepsim: ablation: %v\n", err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Print(t.CSV())
+				fmt.Println()
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		return
+	}
+
+	cfg := experiments.DefaultSimConfig()
+	if *quick {
+		cfg = experiments.QuickSimConfig()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = cfg.Seeds[:0]
+		for i := 1; i <= *seeds; i++ {
+			cfg.Seeds = append(cfg.Seeds, int64(i))
+		}
+	}
+	if *queries > 0 {
+		cfg.NumQueries = *queries
+	}
+
+	type driver struct {
+		name string
+		run  func(experiments.SimConfig) (*metrics.Table, *metrics.Table, error)
+	}
+	drivers := map[string]driver{
+		"2": {"Fig 2", experiments.Fig2},
+		"3": {"Fig 3", experiments.Fig3},
+		"4": {"Fig 4", experiments.Fig4},
+		"5": {"Fig 5", experiments.Fig5},
+	}
+	var order []string
+	if *fig == "all" {
+		order = []string{"2", "3", "4", "5"}
+	} else if _, ok := drivers[*fig]; ok {
+		order = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "edgerepsim: unknown figure %q (want 2, 3, 4, 5, or all)\n", *fig)
+		os.Exit(2)
+	}
+
+	for _, key := range order {
+		d := drivers[key]
+		vol, tp, err := d.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepsim: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(vol.CSV())
+			fmt.Println()
+			fmt.Print(tp.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(vol.Render())
+			fmt.Println(tp.Render())
+		}
+	}
+}

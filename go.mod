@@ -1,0 +1,3 @@
+module edgerep
+
+go 1.22

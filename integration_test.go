@@ -1,0 +1,158 @@
+// Integration tests exercising cross-module flows end to end: the paths a
+// downstream user of the library would actually compose.
+package edgerep
+
+import (
+	"bytes"
+	"testing"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/consistency"
+	"edgerep/internal/core"
+	"edgerep/internal/forecast"
+	"edgerep/internal/online"
+	"edgerep/internal/placement"
+	"edgerep/internal/routing"
+	"edgerep/internal/sim"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// TestFullPipeline drives the whole modeled stack: generate → place →
+// validate → simulate → route → maintain consistency.
+func TestFullPipeline(t *testing.T) {
+	top := topology.MustGenerate(topology.DefaultConfig())
+	wc := workload.DefaultConfig()
+	wc.NumDatasets = 10
+	wc.NumQueries = 40
+	w := workload.MustGenerate(wc, top)
+	prob, err := placement.NewProblem(cluster.New(top), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ApproG(prob, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := res.Solution
+	if err := sol.Validate(prob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dynamic execution: deadlines hold under simultaneous arrivals.
+	rep, err := sim.Run(prob, sol, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineViolations != 0 {
+		t.Fatalf("%d deadline violations", rep.DeadlineViolations)
+	}
+
+	// Network accounting: consistent with the distance matrix.
+	router := routing.NewRouter(top)
+	if err := routing.VerifyPathsMatchDistances(top, router); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := routing.MeasureFootprint(prob, sol, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.TotalGBHops < 0 {
+		t.Fatal("negative footprint")
+	}
+
+	// Consistency maintenance over the chosen replica layout.
+	mgr, err := consistency.NewManager(top, w.Datasets, sol, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range w.Datasets {
+		if _, err := mgr.Append(workload.DatasetID(n), w.Datasets[n].SizeGB*0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(mgr.Events()) == 0 {
+		t.Fatal("no consistency events fired above threshold")
+	}
+}
+
+// TestPlanRoundTripStable: saving and loading a placement plan preserves
+// feasibility and value, and re-running the deterministic algorithm produces
+// a zero-move diff.
+func TestPlanRoundTripStable(t *testing.T) {
+	build := func() (*placement.Problem, *placement.Solution) {
+		top := topology.MustGenerate(topology.DefaultConfig())
+		wc := workload.DefaultConfig()
+		wc.NumDatasets = 10
+		wc.NumQueries = 30
+		w := workload.MustGenerate(wc, top)
+		prob, err := placement.NewProblem(cluster.New(top), w, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.ApproG(prob, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prob, res.Solution
+	}
+	prob, sol := build()
+	var buf bytes.Buffer
+	if err := sol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := placement.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(prob); err != nil {
+		t.Fatal(err)
+	}
+	_, sol2 := build()
+	if d := placement.DiffReplicas(loaded, sol2); d.Moves() != 0 {
+		t.Fatalf("deterministic re-run diverged by %d replica moves", d.Moves())
+	}
+}
+
+// TestHistoryForecastOnlineLoop: observe one day, forecast, pre-place, and
+// admit the next day online — the full proactive loop.
+func TestHistoryForecastOnlineLoop(t *testing.T) {
+	top := topology.MustGenerate(topology.DefaultConfig())
+	wc := workload.DefaultConfig()
+	wc.NumDatasets = 8
+	wc.NumQueries = 50
+	yesterday := workload.MustGenerate(wc, top)
+
+	pred, err := forecast.NewPredictor(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Observe(yesterday.Datasets, yesterday.Queries); err != nil {
+		t.Fatal(err)
+	}
+	future, err := pred.Synthesize(yesterday.Datasets, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wc.Seed = 2
+	today := workload.MustGenerate(wc, top)
+	today.Datasets = yesterday.Datasets // same data, new queries
+	prob, err := placement.NewProblem(cluster.New(top), today, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := online.NewEngine(prob, len(today.Queries), online.Options{Forecast: future})
+	for i := range today.Queries {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i), HoldSec: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := e.Result()
+	if r.Admitted == 0 {
+		t.Fatal("forecast-driven online loop admitted nothing")
+	}
+	if r.PeakUtilization > 1+1e-9 {
+		t.Fatalf("peak utilization %v above 1", r.PeakUtilization)
+	}
+}

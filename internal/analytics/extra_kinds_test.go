@@ -1,0 +1,126 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"edgerep/internal/workload"
+)
+
+func TestTopUsersEndToEnd(t *testing.T) {
+	now := time.Now()
+	recs := []workload.UsageRecord{
+		{UserID: 1, AppID: 0, Start: now, DurationS: 100},
+		{UserID: 2, AppID: 0, Start: now, DurationS: 300},
+		{UserID: 1, AppID: 1, Start: now, DurationS: 250},
+		{UserID: 3, AppID: 2, Start: now, DurationS: 50},
+	}
+	req := Request{Kind: TopUsers, K: 2}
+	p, err := Aggregate(recs, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Finalize(p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopUsers) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.TopUsers))
+	}
+	// User 1: 350s, user 2: 300s.
+	if res.TopUsers[0].UserID != 1 || res.TopUsers[0].DurationS != 350 {
+		t.Fatalf("row 0 = %+v, want user 1 / 350s", res.TopUsers[0])
+	}
+	if res.TopUsers[1].UserID != 2 || res.TopUsers[1].DurationS != 300 {
+		t.Fatalf("row 1 = %+v, want user 2 / 300s", res.TopUsers[1])
+	}
+}
+
+func TestTopUsersValidation(t *testing.T) {
+	if err := (Request{Kind: TopUsers, K: 0}).Validate(); err == nil {
+		t.Fatal("top-users K=0 accepted")
+	}
+}
+
+func TestSessionStatsEndToEnd(t *testing.T) {
+	now := time.Now()
+	recs := []workload.UsageRecord{
+		{UserID: 1, AppID: 0, Start: now, DurationS: 10},
+		{UserID: 2, AppID: 0, Start: now, DurationS: 30},
+		{UserID: 3, AppID: 0, Start: now, DurationS: 20},
+	}
+	req := Request{Kind: SessionStats}
+	p, err := Aggregate(recs, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Finalize(p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sessions
+	if s == nil {
+		t.Fatal("no session stats")
+	}
+	if s.Count != 3 || s.SumS != 60 || s.MinS != 10 || s.MaxS != 30 || s.MeanS != 20 {
+		t.Fatalf("stats %+v, want count=3 sum=60 min=10 max=30 mean=20", s)
+	}
+}
+
+func TestNewKindsMergeEquivalentToCentralized(t *testing.T) {
+	recs := trace(t, 3000)
+	parts, err := workload.PartitionTrace(recs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []Request{
+		{Kind: TopUsers, K: 10},
+		{Kind: SessionStats},
+	} {
+		central, err := Aggregate(recs, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merged *Partial
+		for _, part := range parts {
+			p, err := Aggregate(part, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged == nil {
+				merged = p
+			} else {
+				merged.Merge(p)
+			}
+		}
+		cRes, err := Finalize(central, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mRes, err := Finalize(merged, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch req.Kind {
+		case TopUsers:
+			if len(cRes.TopUsers) != len(mRes.TopUsers) {
+				t.Fatal("top-users row counts differ")
+			}
+			for i := range cRes.TopUsers {
+				if cRes.TopUsers[i] != mRes.TopUsers[i] {
+					t.Fatalf("top-users row %d: %+v vs %+v", i, cRes.TopUsers[i], mRes.TopUsers[i])
+				}
+			}
+		case SessionStats:
+			if *cRes.Sessions != *mRes.Sessions {
+				t.Fatalf("session stats differ: %+v vs %+v", cRes.Sessions, mRes.Sessions)
+			}
+		}
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	if TopUsers.String() != "top-users" || SessionStats.String() != "session-stats" {
+		t.Fatal("new kind strings wrong")
+	}
+}

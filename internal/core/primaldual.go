@@ -1,0 +1,572 @@
+// Package core implements the paper's primary contribution: the primal-dual
+// dynamic-update approximation algorithms Appro-S (each query demands a
+// single dataset) and Appro-G (each query demands multiple datasets) for the
+// proactive QoS-aware data replication and placement problem (paper §3).
+//
+// The ILP (paper (1)–(7)) maximizes the volume of datasets demanded by
+// admitted queries subject to per-node computing capacities (2), replica
+// presence (3), QoS deadlines (4), and the per-dataset replica bound K (5).
+// Its dual prices capacity (θ_l), assignment (y_ml), deadlines (η_ml) and
+// replica creation (µ_qm). Algorithm 1 of the paper raises all dual
+// variables uniformly until dual constraint (9) becomes tight for some
+// (query, node) pair and admits that pair; this package realizes the ascent
+// deterministically:
+//
+//   - θ grows exponentially with node utilization — the standard
+//     primal-dual packing price θ(u) = (c^u − 1)/(c − 1) with c = 1 + |Q|,
+//     so heavily-loaded nodes price themselves out exactly as the uniform
+//     ascent would;
+//   - η contributes the deadline-slack fraction delay/d_q (infinite when the
+//     deadline is violated, enforcing (4));
+//   - µ contributes a replica-opening price that is zero on nodes already
+//     holding the dataset, grows with the replica count, and is infinite
+//     once K replicas exist elsewhere, enforcing (5).
+//
+// The ascent runs in two phases, mirroring the proactive nature of the
+// problem (replicas are placed in advance of query evaluation, §2.3):
+//
+//  1. Replication (µ/y tightening): for each dataset, up to K replica sites
+//     are selected by volume-weighted maximum coverage — each site is the
+//     node covering the largest uncovered deadline-feasible demand volume,
+//     capped by the node's remaining expected capacity. This is the point
+//     where µ_qm − y_ml = 0 becomes tight in Algorithm 1: a replica is
+//     created exactly when enough query demand pays for it.
+//  2. Admission (θ/η ascent): each round admits the (query, node) pair whose
+//     dual cost per unit of primal value (demanded volume) is minimal — the
+//     pair whose constraint (9) goes tight first — then updates prices and
+//     repeats. Appro-G runs the same machinery over a query's whole demanded
+//     bundle with all-or-nothing admission (paper Algorithm 2 invokes the
+//     Appro-S machinery per demanded dataset).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+// Options tunes the dual ascent. The zero value selects the defaults used
+// throughout the paper reproduction.
+type Options struct {
+	// PriceBase is c in θ(u) = (c^u − 1)/(c − 1). Zero means the default
+	// 2, a gentle near-linear price that spreads load early; the classic
+	// online-packing choice 1 + |Q| prices only near-full nodes and is
+	// available via this option (see BenchmarkAblationPriceBase).
+	PriceBase float64
+	// ReplicaPriceWeight scales the replica-opening component of the dual
+	// cost (µ). Zero means the default 0.25.
+	ReplicaPriceWeight float64
+	// DelayPriceWeight scales the deadline-slack component of the dual
+	// cost (η). Zero means the default 0.15; the capacity price θ must
+	// stay competitive with the delay price or the ascent piles load onto
+	// the few lowest-delay nodes and starves later queries.
+	DelayPriceWeight float64
+	// PartialAdmission, when true, lets Appro-G admit the feasible subset
+	// of a query's bundle instead of all-or-nothing. The paper's admission
+	// is all-or-nothing (a query is admitted only if its QoS holds for all
+	// demanded datasets); this switch exists for the ablation bench and is
+	// rejected by Validate because partially-served queries violate the
+	// ILP. Partial solutions are therefore returned unvalidated.
+	PartialAdmission bool
+	// ArbitraryOrder, when true, disables the min-cost-per-value global
+	// selection and admits queries in ID order (ablation).
+	ArbitraryOrder bool
+	// NoProactivePlacement disables the coverage-driven replication phase
+	// so replicas open lazily during admission (ablation). The paper's
+	// algorithm is proactive; this switch quantifies how much that phase
+	// contributes.
+	NoProactivePlacement bool
+	// Parallelism is the number of goroutines used to price query bundles
+	// within each admission round. 0 or 1 means sequential. The result is
+	// identical at any parallelism: pricing reads shared state, and the
+	// per-round winner is reduced deterministically by (ratio, query ID).
+	Parallelism int
+}
+
+func (o Options) priceBase(numQueries int) float64 {
+	_ = numQueries // the classic 1+|Q| base is selectable via PriceBase
+	if o.PriceBase > 0 {
+		return o.PriceBase
+	}
+	return 2
+}
+
+func (o Options) replicaWeight() float64 {
+	if o.ReplicaPriceWeight > 0 {
+		return o.ReplicaPriceWeight
+	}
+	return 0.25
+}
+
+func (o Options) delayWeight() float64 {
+	if o.DelayPriceWeight > 0 {
+		return o.DelayPriceWeight
+	}
+	return 0.15
+}
+
+// Result carries the solution and ascent statistics.
+type Result struct {
+	Solution *placement.Solution
+	// Rounds is the number of dual-ascent rounds (= admitted queries).
+	Rounds int
+	// Rejected counts queries that became permanently infeasible.
+	Rejected int
+	// FinalTheta is the capacity price θ_l of every compute node at the
+	// end of the ascent — the dual certificate of where capacity was the
+	// binding resource (observability for operators and tests).
+	FinalTheta map[graph.NodeID]float64
+	// PreferredSites are the proactive phase's chosen sites per dataset
+	// (sorted); empty under Options.NoProactivePlacement.
+	PreferredSites map[workload.DatasetID][]graph.NodeID
+}
+
+// ApproS runs the special-case algorithm: every query must demand exactly
+// one dataset (paper Algorithm 1).
+func ApproS(p *placement.Problem, opt Options) (*Result, error) {
+	for i := range p.Queries {
+		if len(p.Queries[i].Demands) != 1 {
+			return nil, fmt.Errorf("core: ApproS requires single-dataset queries; query %d demands %d",
+				p.Queries[i].ID, len(p.Queries[i].Demands))
+		}
+	}
+	return run(p, opt)
+}
+
+// ApproG runs the general algorithm: queries may demand multiple datasets
+// (paper Algorithm 2). Admission is all-or-nothing over the demanded bundle
+// unless Options.PartialAdmission is set.
+func ApproG(p *placement.Problem, opt Options) (*Result, error) {
+	return run(p, opt)
+}
+
+// pairCost is the dual cost of serving one demanded dataset of a query at a
+// node, plus the bookkeeping needed to commit it.
+type pairCost struct {
+	node graph.NodeID
+	cost float64
+	need float64
+	open bool // a new replica must be created
+}
+
+// ascent holds the mutable state of the dual ascent.
+type ascent struct {
+	p   *placement.Problem
+	opt Options
+	// avail and used track capacity without mutating the shared cloud.
+	avail map[graph.NodeID]float64
+	caps  map[graph.NodeID]float64
+	sol   *placement.Solution
+	base  float64
+	repW  float64
+	delW  float64
+	// delays caches EvalDelay per (query index, demand index, node index).
+	delays [][][]float64
+	nodes  []graph.NodeID
+	nodeIx map[graph.NodeID]int
+	// preferred holds the sites chosen by the proactive replication phase.
+	// A replica only materializes (and counts toward K) when a query is
+	// actually assigned to it; preferred sites carry zero opening price in
+	// the dual cost, steering the ascent toward the coverage-optimal
+	// layout without freezing K slots on never-used copies.
+	preferred map[workload.DatasetID]map[graph.NodeID]bool
+}
+
+func newAscent(p *placement.Problem, opt Options) *ascent {
+	a := &ascent{
+		p:         p,
+		opt:       opt,
+		avail:     make(map[graph.NodeID]float64),
+		caps:      make(map[graph.NodeID]float64),
+		sol:       placement.NewSolution(),
+		base:      opt.priceBase(len(p.Queries)),
+		repW:      opt.replicaWeight(),
+		delW:      opt.delayWeight(),
+		nodes:     p.Cloud.ComputeNodes(),
+		nodeIx:    make(map[graph.NodeID]int),
+		preferred: make(map[workload.DatasetID]map[graph.NodeID]bool),
+	}
+	for i, v := range a.nodes {
+		a.nodeIx[v] = i
+		a.avail[v] = p.Cloud.Available(v)
+		a.caps[v] = p.Cloud.Capacity(v)
+	}
+	a.delays = make([][][]float64, len(p.Queries))
+	for qi := range p.Queries {
+		q := &p.Queries[qi]
+		a.delays[qi] = make([][]float64, len(q.Demands))
+		for di := range q.Demands {
+			row := make([]float64, len(a.nodes))
+			for vi, v := range a.nodes {
+				d, ok := p.EvalDelay(q.ID, q.Demands[di].Dataset, v)
+				if !ok {
+					d = math.Inf(1)
+				}
+				row[vi] = d
+			}
+			a.delays[qi][di] = row
+		}
+	}
+	return a
+}
+
+// proactivePlace runs the replication phase: volume-weighted maximum
+// coverage, per dataset, capped by expected node capacity. Datasets are
+// processed in descending total-demand order so contended datasets choose
+// sites first. Sites selected here enter the solution's replica sets; the
+// admission phase may still open leftover slots lazily (count < K).
+func (a *ascent) proactivePlace() {
+	type demandRef struct {
+		qi, di int
+		need   float64
+	}
+	// Collect demands per dataset and total demand volumes.
+	perDataset := make(map[workload.DatasetID][]demandRef)
+	totalNeed := make(map[workload.DatasetID]float64)
+	for qi := range a.p.Queries {
+		q := &a.p.Queries[qi]
+		for di, dm := range q.Demands {
+			need := a.p.ComputeNeed(q.ID, dm.Dataset)
+			perDataset[dm.Dataset] = append(perDataset[dm.Dataset], demandRef{qi: qi, di: di, need: need})
+			totalNeed[dm.Dataset] += need
+		}
+	}
+	order := make([]workload.DatasetID, 0, len(perDataset))
+	for n := range perDataset {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if totalNeed[order[i]] != totalNeed[order[j]] {
+			return totalNeed[order[i]] > totalNeed[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	// claimed tracks expected capacity committed to already-chosen sites so
+	// replicas of different datasets spread instead of stacking on one
+	// popular cloudlet.
+	claimed := make(map[graph.NodeID]float64, len(a.nodes))
+
+	for _, n := range order {
+		demands := perDataset[n]
+		covered := make([]bool, len(demands))
+		for slot := 0; slot < a.p.MaxReplicas; slot++ {
+			var bestNode graph.NodeID = -1
+			bestEff := 0.0
+			for _, v := range a.nodes {
+				if a.preferred[n][v] {
+					continue
+				}
+				vi := a.nodeIx[v]
+				cover := 0.0
+				for i, d := range demands {
+					if covered[i] {
+						continue
+					}
+					if a.delays[d.qi][d.di][vi] <= a.p.Queries[d.qi].DeadlineSec {
+						cover += d.need
+					}
+				}
+				if cover <= 0 {
+					continue
+				}
+				eff := math.Min(cover, a.caps[v]-claimed[v])
+				if eff > bestEff || (eff == bestEff && bestNode != -1 && v < bestNode) {
+					bestNode, bestEff = v, eff
+				}
+			}
+			if bestNode == -1 || bestEff <= 0 {
+				break // no remaining useful site for this dataset
+			}
+			if a.preferred[n] == nil {
+				a.preferred[n] = make(map[graph.NodeID]bool)
+			}
+			a.preferred[n][bestNode] = true
+			vi := a.nodeIx[bestNode]
+			// Mark demands covered only up to the node's remaining
+			// capacity budget, smallest-need first (serves the most
+			// queries per GHz); the rest stay uncovered so later slots
+			// are spent where capacity actually exists.
+			budget := a.caps[bestNode] - claimed[bestNode]
+			var feasible []int
+			for i, d := range demands {
+				if !covered[i] && a.delays[d.qi][d.di][vi] <= a.p.Queries[d.qi].DeadlineSec {
+					feasible = append(feasible, i)
+				}
+			}
+			sort.Slice(feasible, func(x, y int) bool {
+				if demands[feasible[x]].need != demands[feasible[y]].need {
+					return demands[feasible[x]].need < demands[feasible[y]].need
+				}
+				return feasible[x] < feasible[y]
+			})
+			marked := 0.0
+			for _, i := range feasible {
+				if marked+demands[i].need > budget && marked > 0 {
+					break
+				}
+				covered[i] = true
+				marked += demands[i].need
+			}
+			claimed[bestNode] += marked
+		}
+	}
+}
+
+// theta is the capacity price of node v: (c^u − 1)/(c − 1) on utilization u.
+func (a *ascent) theta(v graph.NodeID) float64 {
+	cap := a.caps[v]
+	if cap <= 0 {
+		return math.Inf(1)
+	}
+	u := (cap - a.avail[v]) / cap
+	return (math.Pow(a.base, u) - 1) / (a.base - 1)
+}
+
+// demandCost prices serving demand di of query qi at every node and returns
+// the cheapest feasible option. extraUse carries tentative per-node load from
+// other demands of the same bundle; extraOpen carries tentative replica
+// openings (dataset → nodes) within the bundle.
+func (a *ascent) demandCost(qi, di int, extraUse map[graph.NodeID]float64, extraOpen map[workload.DatasetID]map[graph.NodeID]bool) (pairCost, bool) {
+	q := &a.p.Queries[qi]
+	dm := q.Demands[di]
+	size := a.p.Datasets[dm.Dataset].SizeGB
+	need := size * q.ComputePerGB
+	deadline := q.DeadlineSec
+
+	best := pairCost{cost: math.Inf(1)}
+	found := false
+
+	openCount := a.sol.ReplicaCount(dm.Dataset) + len(extraOpen[dm.Dataset])
+	for vi, v := range a.nodes {
+		delay := a.delays[qi][di][vi]
+		if delay > deadline { // constraint (4): η price infinite
+			continue
+		}
+		if need > a.avail[v]-extraUse[v]+1e-9 { // constraint (2)
+			continue
+		}
+		hasReplica := a.sol.HasReplica(dm.Dataset, v) || extraOpen[dm.Dataset][v]
+		open := false
+		repPrice := 0.0
+		if !hasReplica {
+			if openCount >= a.p.MaxReplicas { // constraint (5): µ infinite
+				continue
+			}
+			open = true
+			if !a.preferred[dm.Dataset][v] {
+				repPrice = a.repW * size * float64(openCount+1) / float64(a.p.MaxReplicas)
+			}
+		}
+		cost := need*a.theta(v) + a.delW*size*(delay/deadline) + repPrice
+		if cost < best.cost || (cost == best.cost && found && v < best.node) {
+			best = pairCost{node: v, cost: cost, need: need, open: open}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// bundlePlan is the tentative min-cost assignment of a whole query bundle.
+type bundlePlan struct {
+	qi      int
+	cost    float64
+	value   float64
+	picks   []pairCost
+	partial bool // some demands infeasible (only kept under PartialAdmission)
+}
+
+// planBundle prices query qi's full bundle. Demands are placed one at a time
+// against tentative capacity so that two demands of the same query cannot
+// both count the same free capacity.
+func (a *ascent) planBundle(qi int) (bundlePlan, bool) {
+	q := &a.p.Queries[qi]
+	plan := bundlePlan{qi: qi, picks: make([]pairCost, 0, len(q.Demands))}
+	extraUse := make(map[graph.NodeID]float64)
+	extraOpen := make(map[workload.DatasetID]map[graph.NodeID]bool)
+	for di := range q.Demands {
+		pick, ok := a.demandCost(qi, di, extraUse, extraOpen)
+		if !ok {
+			if !a.opt.PartialAdmission {
+				return bundlePlan{}, false
+			}
+			plan.partial = true
+			plan.picks = append(plan.picks, pairCost{node: -1})
+			continue
+		}
+		plan.cost += pick.cost
+		plan.value += a.p.Datasets[q.Demands[di].Dataset].SizeGB
+		plan.picks = append(plan.picks, pick)
+		extraUse[pick.node] += pick.need
+		if pick.open {
+			m := extraOpen[q.Demands[di].Dataset]
+			if m == nil {
+				m = make(map[graph.NodeID]bool)
+				extraOpen[q.Demands[di].Dataset] = m
+			}
+			m[pick.node] = true
+		}
+	}
+	if plan.value == 0 {
+		return bundlePlan{}, false // nothing placeable even partially
+	}
+	return plan, true
+}
+
+// commit applies a plan: allocates capacity, opens replicas, records the
+// admission.
+func (a *ascent) commit(plan bundlePlan) {
+	q := &a.p.Queries[plan.qi]
+	var as []placement.Assignment
+	for di, pick := range plan.picks {
+		if pick.node < 0 {
+			continue // infeasible demand under PartialAdmission
+		}
+		ds := q.Demands[di].Dataset
+		a.avail[pick.node] -= pick.need
+		if a.avail[pick.node] < 0 {
+			a.avail[pick.node] = 0
+		}
+		a.sol.AddReplica(ds, pick.node)
+		as = append(as, placement.Assignment{Query: q.ID, Dataset: ds, Node: pick.node})
+	}
+	a.sol.Admit(q.ID, as)
+}
+
+// run executes the dual ascent to exhaustion.
+func run(p *placement.Problem, opt Options) (*Result, error) {
+	a := newAscent(p, opt)
+	if !opt.NoProactivePlacement {
+		a.proactivePlace()
+	}
+	remaining := make([]int, len(p.Queries))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	res := &Result{}
+
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+
+	for len(remaining) > 0 {
+		bestIdx := -1
+		var best bundlePlan
+		bestRatio := math.Inf(1)
+		next := make([]int, 0, len(remaining))
+		if workers > 1 && !opt.ArbitraryOrder && len(remaining) > 1 {
+			// Price all remaining bundles concurrently. planBundle only
+			// reads ascent state, so the workers share it safely; the
+			// reduction below is deterministic regardless of completion
+			// order.
+			type priced struct {
+				plan bundlePlan
+				ok   bool
+			}
+			plans := make([]priced, len(remaining))
+			var wg sync.WaitGroup
+			chunk := (len(remaining) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= len(remaining) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(remaining) {
+					hi = len(remaining)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						plan, ok := a.planBundle(remaining[i])
+						plans[i] = priced{plan: plan, ok: ok}
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+			for i, qi := range remaining {
+				if !plans[i].ok {
+					res.Rejected++
+					continue
+				}
+				next = append(next, qi)
+				ratio := plans[i].plan.cost / plans[i].plan.value
+				if bestIdx == -1 || ratio < bestRatio {
+					bestIdx, best, bestRatio = qi, plans[i].plan, ratio
+				}
+			}
+		} else {
+			for _, qi := range remaining {
+				plan, ok := a.planBundle(qi)
+				if !ok {
+					// Capacity only shrinks and frozen replica sets only
+					// freeze harder, so infeasibility is permanent.
+					res.Rejected++
+					continue
+				}
+				next = append(next, qi)
+				ratio := plan.cost / plan.value
+				if bestIdx == -1 || ratio < bestRatio {
+					bestIdx, best, bestRatio = qi, plan, ratio
+				}
+				if opt.ArbitraryOrder && bestIdx != -1 {
+					break // take the first feasible query in ID order
+				}
+			}
+		}
+		if opt.ArbitraryOrder {
+			// Preserve the untried tail of the remaining list.
+			seen := false
+			for _, qi := range remaining {
+				if qi == bestIdx {
+					seen = true
+					continue
+				}
+				if seen {
+					next = append(next, qi)
+				}
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		a.commit(best)
+		res.Rounds++
+		// Drop the admitted query from the remaining set.
+		out := next[:0]
+		for _, qi := range next {
+			if qi != bestIdx {
+				out = append(out, qi)
+			}
+		}
+		remaining = out
+	}
+
+	res.Solution = a.sol
+	res.FinalTheta = make(map[graph.NodeID]float64, len(a.nodes))
+	for _, v := range a.nodes {
+		res.FinalTheta[v] = a.theta(v)
+	}
+	res.PreferredSites = make(map[workload.DatasetID][]graph.NodeID, len(a.preferred))
+	for n, m := range a.preferred {
+		for v := range m {
+			res.PreferredSites[n] = append(res.PreferredSites[n], v)
+		}
+		sort.Slice(res.PreferredSites[n], func(i, j int) bool {
+			return res.PreferredSites[n][i] < res.PreferredSites[n][j]
+		})
+	}
+	if !opt.PartialAdmission {
+		if err := a.sol.Validate(p); err != nil {
+			return nil, fmt.Errorf("core: produced infeasible solution: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgerep/internal/core"
+	"edgerep/internal/metrics"
+	"edgerep/internal/placement"
+	"edgerep/internal/routing"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// AblationConfig scopes the design-choice ablations of DESIGN.md §6.
+type AblationConfig struct {
+	Seeds       []int64
+	NumDatasets int
+	NumQueries  int
+	K           int
+	F           int
+}
+
+// DefaultAblationConfig mirrors the default-scale simulation instance.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{
+		Seeds:       []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		NumDatasets: 12,
+		NumQueries:  60,
+		K:           3,
+		F:           5,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c AblationConfig) Validate() error {
+	switch {
+	case len(c.Seeds) == 0:
+		return fmt.Errorf("experiments: no seeds")
+	case c.NumDatasets < 1 || c.NumQueries < 1 || c.K < 1 || c.F < 1:
+		return fmt.Errorf("experiments: bad ablation scale")
+	}
+	return nil
+}
+
+// ablationInstance builds one default-topology problem.
+func (c AblationConfig) instance(seed int64) (*placement.Problem, error) {
+	return instance(seed, 30, c.NumDatasets, c.NumQueries, c.F, c.K, false)
+}
+
+// meanVolume runs Appro-G with the given options across seeds.
+func (c AblationConfig) meanVolume(opt core.Options) (float64, error) {
+	sum := 0.0
+	for _, seed := range c.Seeds {
+		p, err := c.instance(seed)
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.ApproG(p, opt)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Solution.Volume(p)
+	}
+	return sum / float64(len(c.Seeds)), nil
+}
+
+// AblationPriceBase sweeps the θ price base (DESIGN.md §6).
+func AblationPriceBase(c AblationConfig) (*metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Ablation: θ price base c", "c", "mean admitted volume (GB)")
+	for _, base := range []float64{2, 4, 8, 16, 1 + float64(c.NumQueries)} {
+		v, err := c.meanVolume(core.Options{PriceBase: base})
+		if err != nil {
+			return nil, err
+		}
+		t.AddPoint("Appro-G", fmt.Sprintf("%g", base), v)
+	}
+	return t, nil
+}
+
+// AblationReplicaPrice sweeps the replica-opening price weight.
+func AblationReplicaPrice(c AblationConfig) (*metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Ablation: replica price weight", "w", "mean admitted volume (GB)")
+	for _, w := range []float64{0.05, 0.1, 0.25, 0.5, 1.0, 2.0} {
+		v, err := c.meanVolume(core.Options{ReplicaPriceWeight: w})
+		if err != nil {
+			return nil, err
+		}
+		t.AddPoint("Appro-G", fmt.Sprintf("%g", w), v)
+	}
+	return t, nil
+}
+
+// AblationDelayPrice sweeps the deadline-slack price weight.
+func AblationDelayPrice(c AblationConfig) (*metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Ablation: delay price weight", "w", "mean admitted volume (GB)")
+	for _, w := range []float64{0.05, 0.15, 0.4, 1.0} {
+		v, err := c.meanVolume(core.Options{DelayPriceWeight: w})
+		if err != nil {
+			return nil, err
+		}
+		t.AddPoint("Appro-G", fmt.Sprintf("%g", w), v)
+	}
+	return t, nil
+}
+
+// AblationMechanisms toggles the structural switches: proactive placement,
+// ordering, and bundle semantics, reporting both the objective volume and —
+// for partial admission, which serves fractions of bundles — the raw served
+// volume.
+func AblationMechanisms(c AblationConfig) (*metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Ablation: algorithm mechanisms", "variant", "mean volume (GB)")
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"default", core.Options{}},
+		{"lazy-replication", core.Options{NoProactivePlacement: true}},
+		{"id-order", core.Options{ArbitraryOrder: true}},
+		{"partial-bundles", core.Options{PartialAdmission: true}},
+	}
+	for _, variant := range variants {
+		var objSum, servedSum float64
+		for _, seed := range c.Seeds {
+			p, err := c.instance(seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.ApproG(p, variant.opt)
+			if err != nil {
+				return nil, err
+			}
+			objSum += res.Solution.Volume(p)
+			for _, a := range res.Solution.Assignments {
+				servedSum += p.Datasets[a.Dataset].SizeGB
+			}
+		}
+		n := float64(len(c.Seeds))
+		t.AddPoint("objective (admitted bundles)", variant.name, objSum/n)
+		t.AddPoint("served volume", variant.name, servedSum/n)
+	}
+	return t, nil
+}
+
+// AblationTopologyModel compares the flat GT-ITM model the paper uses with
+// the hierarchical transit-stub model, on identical workload statistics.
+func AblationTopologyModel(c AblationConfig) (*metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Ablation: topology model", "model", "mean value")
+	for _, model := range []string{"flat", "transit-stub"} {
+		var volSum, tpSum, footSum float64
+		for _, seed := range c.Seeds {
+			var top *topology.Topology
+			var err error
+			switch model {
+			case "flat":
+				tc := topology.DefaultConfig()
+				tc.Seed = seed
+				top, err = topology.Generate(tc)
+			default:
+				tc := topology.DefaultTransitStubConfig()
+				tc.Seed = seed
+				top, err = topology.GenerateTransitStub(tc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			wc := workload.DefaultConfig()
+			wc.Seed = seed
+			wc.NumDatasets = c.NumDatasets
+			wc.NumQueries = c.NumQueries
+			wc.MaxDatasetsPerQuery = c.F
+			w, err := workload.Generate(wc, top)
+			if err != nil {
+				return nil, err
+			}
+			p, err := newProblem(top, w, c.K)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.ApproG(p, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			volSum += res.Solution.Volume(p)
+			tpSum += res.Solution.Throughput(p)
+			fp, err := routing.MeasureFootprint(p, res.Solution, routing.NewRouter(top))
+			if err != nil {
+				return nil, err
+			}
+			footSum += fp.TotalGBHops
+		}
+		n := float64(len(c.Seeds))
+		t.AddPoint("volume (GB)", model, volSum/n)
+		t.AddPoint("throughput", model, tpSum/n)
+		t.AddPoint("traffic (GB·hops)", model, footSum/n)
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgerep/internal/core"
+	"edgerep/internal/ilp"
+	"edgerep/internal/metrics"
+	"edgerep/internal/placement"
+	"edgerep/internal/reactive"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// OptimalityGap solves tiny instances exactly (internal/ilp) and compares
+// Appro-G, Greedy-style admission being dominated by construction. Not a
+// paper figure: the empirical counterpart of Theorem 1's approximation-ratio
+// claim (DESIGN.md §3.1).
+func OptimalityGap(seeds []int64) (*metrics.Table, []GapPoint, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no seeds")
+	}
+	tiny := func(seed int64) (*placement.Problem, error) {
+		tc := topology.DefaultConfig()
+		tc.DataCenters = 2
+		tc.Cloudlets = 6
+		tc.Switches = 1
+		tc.Seed = seed
+		top, err := topology.Generate(tc)
+		if err != nil {
+			return nil, err
+		}
+		wc := workload.DefaultConfig()
+		wc.Seed = seed
+		wc.NumDatasets = 4
+		wc.NumQueries = 6
+		wc.MaxDatasetsPerQuery = 3
+		w, err := workload.Generate(wc, top)
+		if err != nil {
+			return nil, err
+		}
+		return newProblem(top, w, 2)
+	}
+	t := metrics.NewTable("Optimality gap on tiny instances", "seed", "volume (GB)")
+	var points []GapPoint
+	for _, seed := range seeds {
+		p, err := tiny(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		exact, err := ilp.SolveExact(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pOpt, err := tiny(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := exact.Volume(pOpt)
+		pA, err := tiny(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := core.ApproG(pA, core.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		got := res.Solution.Volume(pA)
+		tick := fmt.Sprintf("%d", seed)
+		t.AddPoint("ILP optimum", tick, opt)
+		t.AddPoint("Appro-G", tick, got)
+		points = append(points, GapPoint{Seed: seed, Optimal: opt, Appro: got})
+	}
+	return t, points, nil
+}
+
+// ProactiveVsReactive compares the paper's proactive placement against
+// on-demand (reactive) caching across the replica bound K — the ablation
+// that backs the paper's central premise ("proactively replicate ... so that
+// query users can obtain their desired query results within their specified
+// time duration").
+func ProactiveVsReactive(cfg SimConfig) (*metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Proactive vs reactive replication", "max replicas K", "mean admitted volume (GB)")
+	for _, k := range cfg.KValues {
+		var proSum, reSum float64
+		for _, seed := range cfg.Seeds {
+			pPro, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.ApproG(pPro, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			proSum += res.Solution.Volume(pPro)
+			pRe, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
+			if err != nil {
+				return nil, err
+			}
+			re, err := reactive.Run(pRe, reactive.Options{ColdStartAtOrigin: true})
+			if err != nil {
+				return nil, err
+			}
+			reSum += re.Solution.Volume(pRe)
+		}
+		tick := fmt.Sprintf("%d", k)
+		n := float64(len(cfg.Seeds))
+		t.AddPoint("proactive (Appro-G)", tick, proSum/n)
+		t.AddPoint("reactive (LRU cache)", tick, reSum/n)
+	}
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgerep/internal/metrics"
+)
+
+// -update regenerates the golden figure outputs after an intentional
+// algorithm change:
+//
+//	go test ./internal/experiments/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden figure outputs")
+
+// goldenConfig pins the exact instance the golden files were produced from.
+func goldenConfig() SimConfig {
+	c := QuickSimConfig()
+	c.Seeds = []int64{1, 2}
+	c.NetworkSizes = []int{20, 50}
+	c.FValues = []int{1, 3}
+	c.KValues = []int{1, 4}
+	return c
+}
+
+// TestGoldenFigures locks the quick-config figure outputs byte-for-byte.
+// Every algorithm in the repository is deterministic, so any diff here means
+// the reproduction's numbers changed — which must be a conscious decision
+// (rerun with -update and re-record EXPERIMENTS.md), never an accident.
+func TestGoldenFigures(t *testing.T) {
+	cfg := goldenConfig()
+	figs := []struct {
+		name string
+		run  func(SimConfig) (*metrics.Table, *metrics.Table, error)
+	}{
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+	}
+	for _, fig := range figs {
+		t.Run(fig.name, func(t *testing.T) {
+			vol, tp, err := fig.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := vol.CSV() + "\n" + tp.CSV()
+			path := filepath.Join("testdata", fig.name+"_quick.csv")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("%s output drifted from golden file %s.\n--- got ---\n%s--- want ---\n%s",
+					fig.name, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTestbedFigures does the same for the testbed tables (Execute
+// off: admission is pure algorithm output, so the tables are deterministic).
+func TestGoldenTestbedFigures(t *testing.T) {
+	cfg := QuickTestbedConfig()
+	cfg.Seeds = []int64{1, 2}
+	cfg.FValues = []int{1, 4}
+	cfg.KValues = []int{1, 5}
+	cfg.Execute = false
+	figs := []struct {
+		name string
+		run  func(TestbedConfig) (*TestbedResult, error)
+	}{
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+	}
+	for _, fig := range figs {
+		t.Run(fig.name, func(t *testing.T) {
+			res, err := fig.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Volume.CSV() + "\n" + res.Throughput.CSV()
+			path := filepath.Join("testdata", fig.name+"_quick.csv")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("%s output drifted from golden file %s.\n--- got ---\n%s--- want ---\n%s",
+					fig.name, path, got, want)
+			}
+		})
+	}
+}

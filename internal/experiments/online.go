@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgerep/internal/core"
+	"edgerep/internal/metrics"
+	"edgerep/internal/online"
+	"edgerep/internal/workload"
+)
+
+// OnlineVsOffline compares the offline primal-dual (sees the whole workload,
+// holds allocations forever) against the online engine (irrevocable
+// admission on arrival, allocations released after the hold time), sweeping
+// the mean hold time. Short holds let the online engine reuse capacity and
+// overtake the conservative offline bound; long holds converge to it from
+// below — the extension experiment for the paper's dynamic setting (§2.4).
+func OnlineVsOffline(cfg SimConfig, holdsSec []float64) (*metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(holdsSec) == 0 {
+		return nil, fmt.Errorf("experiments: empty hold sweep")
+	}
+	t := metrics.NewTable("Online vs offline admission", "mean hold (s)", "mean admitted volume (GB)")
+	for _, hold := range holdsSec {
+		var offSum, lazySum, foreSum float64
+		for _, seed := range cfg.Seeds {
+			// Offline reference.
+			pOff, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.ApproG(pOff, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			offSum += res.Solution.Volume(pOff)
+
+			runOnline := func(opts online.Options) (float64, error) {
+				p, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+				if err != nil {
+					return 0, err
+				}
+				arrivals, err := workload.GenerateArrivals(
+					&workload.Workload{Datasets: p.Datasets, Queries: p.Queries},
+					workload.ArrivalConfig{MeanRatePerSec: 0.5, MeanHoldSec: hold, Seed: seed})
+				if err != nil {
+					return 0, err
+				}
+				e := online.NewEngine(p, len(p.Queries), opts)
+				for _, a := range arrivals {
+					if _, err := e.Offer(online.Arrival{
+						Query: a.Query, AtSec: a.AtSec, HoldSec: a.HoldSec,
+					}); err != nil {
+						return 0, err
+					}
+				}
+				return e.Result().VolumeAdmitted, nil
+			}
+			lazy, err := runOnline(online.Options{})
+			if err != nil {
+				return nil, err
+			}
+			lazySum += lazy
+			pFore, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+			if err != nil {
+				return nil, err
+			}
+			fore, err := runOnline(online.Options{Forecast: pFore.Queries})
+			if err != nil {
+				return nil, err
+			}
+			foreSum += fore
+		}
+		tick := fmt.Sprintf("%g", hold)
+		n := float64(len(cfg.Seeds))
+		t.AddPoint("offline Appro-G (holds forever)", tick, offSum/n)
+		t.AddPoint("online lazy", tick, lazySum/n)
+		t.AddPoint("online + forecast", tick, foreSum/n)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,297 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§4). Each driver sweeps the figure's x-axis, runs the
+// relevant algorithms on the same instances, and returns two metrics.Table
+// values — the volume of datasets demanded by admitted queries (panel a) and
+// the system throughput (panel b) — exactly the two metrics every figure of
+// the paper reports. Values are means over cfg.Seeds topologies, mirroring
+// the paper's "mean of the results ... on 15 different topologies".
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edgerep/internal/baselines"
+	"edgerep/internal/cluster"
+	"edgerep/internal/core"
+	"edgerep/internal/metrics"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// SimConfig parameterizes the simulation figures (Figs. 2–5).
+type SimConfig struct {
+	// Seeds lists the topology/workload seeds averaged per point; the
+	// paper averages 15 topologies.
+	Seeds []int64
+	// NumDatasets and NumQueries fix the workload size (the paper draws
+	// them from [5,20] and [10,100]; the drivers pin them so sweeps vary
+	// only the intended parameter).
+	NumDatasets int
+	NumQueries  int
+	// K is the replica bound for figures that do not sweep it.
+	K int
+	// F is the maximum demanded-set size for figures that do not sweep it.
+	F int
+	// NetworkSizes is the |V| sweep of Figs. 2–3.
+	NetworkSizes []int
+	// FValues is the sweep of Fig. 4 (1..6 in the paper).
+	FValues []int
+	// KValues is the sweep of Fig. 5 (1..7 in the paper).
+	KValues []int
+}
+
+// DefaultSimConfig returns the paper's settings.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Seeds:        []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		NumDatasets:  12,
+		NumQueries:   60,
+		K:            3,
+		F:            5,
+		NetworkSizes: []int{20, 50, 80, 110, 140, 170, 200},
+		FValues:      []int{1, 2, 3, 4, 5, 6},
+		KValues:      []int{1, 2, 3, 4, 5, 6, 7},
+	}
+}
+
+// QuickSimConfig returns a scaled-down configuration for tests and benches.
+func QuickSimConfig() SimConfig {
+	c := DefaultSimConfig()
+	c.Seeds = []int64{1, 2, 3}
+	c.NetworkSizes = []int{20, 50, 80}
+	c.FValues = []int{1, 3, 5}
+	c.KValues = []int{1, 3, 5, 7}
+	return c
+}
+
+// Validate reports the first configuration error, or nil.
+func (c SimConfig) Validate() error {
+	switch {
+	case len(c.Seeds) == 0:
+		return fmt.Errorf("experiments: no seeds")
+	case c.NumDatasets < 1 || c.NumQueries < 1:
+		return fmt.Errorf("experiments: empty workload")
+	case c.K < 1:
+		return fmt.Errorf("experiments: K = %d", c.K)
+	case c.F < 1:
+		return fmt.Errorf("experiments: F = %d", c.F)
+	}
+	return nil
+}
+
+// Algorithm is one named placement algorithm run by a driver.
+type Algorithm struct {
+	Name string
+	Run  func(*placement.Problem) (*placement.Solution, error)
+}
+
+// approG adapts core.ApproG to the Algorithm signature.
+func approG(name string) Algorithm {
+	return Algorithm{Name: name, Run: func(p *placement.Problem) (*placement.Solution, error) {
+		res, err := core.ApproG(p, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Solution, nil
+	}}
+}
+
+// approS adapts core.ApproS.
+func approS(name string) Algorithm {
+	return Algorithm{Name: name, Run: func(p *placement.Problem) (*placement.Solution, error) {
+		res, err := core.ApproS(p, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Solution, nil
+	}}
+}
+
+// generalAlgos are the general-case competitors of Figs. 3–5.
+func generalAlgos() []Algorithm {
+	return []Algorithm{
+		approG("Appro-G"),
+		{Name: "Greedy-G", Run: baselines.GreedyG},
+		{Name: "Graph-G", Run: baselines.GraphG},
+	}
+}
+
+// specialAlgos are the special-case competitors of Fig. 2.
+func specialAlgos() []Algorithm {
+	return []Algorithm{
+		approS("Appro-S"),
+		{Name: "Greedy-S", Run: baselines.GreedyS},
+		{Name: "Graph-S", Run: baselines.GraphS},
+	}
+}
+
+// newProblem wraps placement.NewProblem for drivers that build their own
+// topology and workload.
+func newProblem(top *topology.Topology, w *workload.Workload, k int) (*placement.Problem, error) {
+	return placement.NewProblem(cluster.New(top), w, k)
+}
+
+// instance builds the problem for one (seed, networkSize, F, K) point.
+// split selects the paper's special case (every query demands one dataset).
+func instance(seed int64, networkSize, numDatasets, numQueries, f, k int, split bool) (*placement.Problem, error) {
+	tc := topology.ScaledConfig(networkSize, seed)
+	top, err := topology.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	wc := workload.DefaultConfig()
+	wc.Seed = seed
+	wc.NumDatasets = numDatasets
+	wc.NumQueries = numQueries
+	wc.MaxDatasetsPerQuery = f
+	w, err := workload.Generate(wc, top)
+	if err != nil {
+		return nil, err
+	}
+	if split {
+		w = w.SplitSingleDataset()
+	}
+	return placement.NewProblem(cluster.New(top), w, k)
+}
+
+// sweep runs algorithms over an x-axis, averaging volume and throughput over
+// seeds. build maps (seed, x) to a problem instance. Seeds run concurrently
+// (every (seed, algorithm) cell is independent); results land in an indexed
+// matrix and are reduced in fixed order, so the tables are identical at any
+// GOMAXPROCS.
+func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
+	build func(seed int64, x int) (*placement.Problem, error)) (*metrics.Table, *metrics.Table, error) {
+
+	vol := metrics.NewTable(title+" (a)", xlabel, "volume of datasets demanded by admitted queries (GB)")
+	tp := metrics.NewTable(title+" (b)", xlabel, "system throughput")
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	for _, x := range xs {
+		type cell struct {
+			vol, tp float64
+			err     error
+		}
+		results := make([][]cell, len(seeds)) // [seed][algo]
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for si, seed := range seeds {
+			results[si] = make([]cell, len(algos))
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(si int, seed int64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				for ai, a := range algos {
+					p, err := build(seed, x)
+					if err != nil {
+						results[si][ai].err = fmt.Errorf("experiments: build %s x=%d seed=%d: %w", title, x, seed, err)
+						return
+					}
+					sol, err := a.Run(p)
+					if err != nil {
+						results[si][ai].err = fmt.Errorf("experiments: %s at x=%d seed=%d: %w", a.Name, x, seed, err)
+						return
+					}
+					results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
+				}
+			}(si, seed)
+		}
+		wg.Wait()
+		sums := make([][2]float64, len(algos))
+		for si := range seeds {
+			for ai := range algos {
+				if err := results[si][ai].err; err != nil {
+					return nil, nil, err
+				}
+				sums[ai][0] += results[si][ai].vol
+				sums[ai][1] += results[si][ai].tp
+			}
+		}
+		tick := fmt.Sprintf("%d", x)
+		for ai, a := range algos {
+			vol.AddPoint(a.Name, tick, sums[ai][0]/float64(len(seeds)))
+			tp.AddPoint(a.Name, tick, sums[ai][1]/float64(len(seeds)))
+		}
+	}
+	if err := vol.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := tp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return vol, tp, nil
+}
+
+// Fig2 reproduces Fig. 2: Appro-S vs Greedy-S vs Graph-S across network
+// sizes, special case (each query demands a single dataset each time).
+func Fig2(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sweep("Fig 2: special case vs network size", "network size |V|",
+		cfg.NetworkSizes, cfg.Seeds, specialAlgos(),
+		func(seed int64, n int) (*placement.Problem, error) {
+			return instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, true)
+		})
+}
+
+// Fig3 reproduces Fig. 3: Appro-G vs Greedy-G vs Graph-G across network
+// sizes, general case (each query demands multiple datasets each time).
+func Fig3(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sweep("Fig 3: general case vs network size", "network size |V|",
+		cfg.NetworkSizes, cfg.Seeds, generalAlgos(),
+		func(seed int64, n int) (*placement.Problem, error) {
+			return instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+		})
+}
+
+// Fig4 reproduces Fig. 4: impact of the maximum number F of datasets
+// demanded by each query (general case, default topology size).
+func Fig4(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sweep("Fig 4: impact of F", "max datasets per query F",
+		cfg.FValues, cfg.Seeds, generalAlgos(),
+		func(seed int64, f int) (*placement.Problem, error) {
+			return instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, f, cfg.K, false)
+		})
+}
+
+// Fig5 reproduces Fig. 5: impact of the maximum number K of replicas of
+// each dataset (general case, default topology size).
+func Fig5(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sweep("Fig 5: impact of K", "max replicas per dataset K",
+		cfg.KValues, cfg.Seeds, generalAlgos(),
+		func(seed int64, k int) (*placement.Problem, error) {
+			return instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
+		})
+}
+
+// OptimalityGap compares Appro-G to the exact ILP optimum on tiny instances;
+// not a paper figure, but the empirical backing for the approximation-ratio
+// discussion (DESIGN.md §3.1, regenerated by BenchmarkOptimalityGap).
+type GapPoint struct {
+	Seed    int64
+	Optimal float64
+	Appro   float64
+}
+
+// Gap returns Optimal/Appro (1 means Appro matched the optimum).
+func (g GapPoint) Gap() float64 {
+	if g.Appro == 0 {
+		return 0
+	}
+	return g.Optimal / g.Appro
+}

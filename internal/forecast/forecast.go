@@ -1,0 +1,256 @@
+// Package forecast predicts future query demand from an observed history,
+// closing the loop the paper's "proactive" framing assumes: replicas are
+// placed *in advance* of queries, which requires an estimate of what will be
+// asked. The predictor keeps exponentially-weighted statistics of dataset
+// popularity, per-dataset home distributions, selectivities, and deadlines,
+// and synthesizes a representative future workload that internal/online and
+// internal/core can pre-place against.
+package forecast
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/workload"
+)
+
+// Predictor accumulates query history with exponential decay.
+type Predictor struct {
+	alpha float64 // decay factor per Observe batch, applied lazily
+	// datasetWeight is the EWMA demand weight per dataset.
+	datasetWeight map[workload.DatasetID]float64
+	// homeWeight is the EWMA weight of (dataset, home) pairs.
+	homeWeight map[homeKey]float64
+	// selectivitySum/selectivityN track mean selectivity per dataset.
+	selectivitySum map[workload.DatasetID]float64
+	selectivityN   map[workload.DatasetID]float64
+	// deadlinePerGBSum tracks the deadline/largest-dataset ratio.
+	deadlinePerGBSum float64
+	deadlineN        float64
+	// demandsSum tracks the demanded-set size distribution.
+	demandsSum float64
+	demandsN   float64
+	observed   int
+}
+
+type homeKey struct {
+	n workload.DatasetID
+	h graph.NodeID
+}
+
+// NewPredictor builds a predictor; alpha in (0,1] is the retention of old
+// mass when a new observation batch arrives (1 = never forget).
+func NewPredictor(alpha float64) (*Predictor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("forecast: alpha %v outside (0,1]", alpha)
+	}
+	return &Predictor{
+		alpha:          alpha,
+		datasetWeight:  make(map[workload.DatasetID]float64),
+		homeWeight:     make(map[homeKey]float64),
+		selectivitySum: make(map[workload.DatasetID]float64),
+		selectivityN:   make(map[workload.DatasetID]float64),
+	}, nil
+}
+
+// Observe folds a batch of executed queries into the statistics. Earlier
+// batches decay by alpha per call.
+func (p *Predictor) Observe(datasets []workload.Dataset, queries []workload.Query) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("forecast: empty observation batch")
+	}
+	// Decay.
+	for k := range p.datasetWeight {
+		p.datasetWeight[k] *= p.alpha
+	}
+	for k := range p.homeWeight {
+		p.homeWeight[k] *= p.alpha
+	}
+	for qi := range queries {
+		q := &queries[qi]
+		maxSize := 0.0
+		for _, dm := range q.Demands {
+			if int(dm.Dataset) < 0 || int(dm.Dataset) >= len(datasets) {
+				return fmt.Errorf("forecast: query %d references unknown dataset %d", q.ID, dm.Dataset)
+			}
+			p.datasetWeight[dm.Dataset] += datasets[dm.Dataset].SizeGB
+			p.homeWeight[homeKey{dm.Dataset, q.Home}]++
+			p.selectivitySum[dm.Dataset] += dm.Selectivity
+			p.selectivityN[dm.Dataset]++
+			if s := datasets[dm.Dataset].SizeGB; s > maxSize {
+				maxSize = s
+			}
+		}
+		if maxSize > 0 {
+			p.deadlinePerGBSum += q.DeadlineSec / maxSize
+			p.deadlineN++
+		}
+		p.demandsSum += float64(len(q.Demands))
+		p.demandsN++
+	}
+	p.observed += len(queries)
+	return nil
+}
+
+// Observed returns the total number of queries folded in.
+func (p *Predictor) Observed() int { return p.observed }
+
+// PopularDatasets returns dataset IDs in descending EWMA demand weight.
+func (p *Predictor) PopularDatasets() []workload.DatasetID {
+	ids := make([]workload.DatasetID, 0, len(p.datasetWeight))
+	for id := range p.datasetWeight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := p.datasetWeight[ids[i]], p.datasetWeight[ids[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// MeanSelectivity returns the observed mean α for a dataset (0.5 when the
+// dataset was never observed).
+func (p *Predictor) MeanSelectivity(n workload.DatasetID) float64 {
+	if p.selectivityN[n] == 0 {
+		return 0.5
+	}
+	return p.selectivitySum[n] / p.selectivityN[n]
+}
+
+// MeanDeadlinePerGB returns the observed mean of deadline over largest
+// demanded dataset size.
+func (p *Predictor) MeanDeadlinePerGB() float64 {
+	if p.deadlineN == 0 {
+		return 1
+	}
+	return p.deadlinePerGBSum / p.deadlineN
+}
+
+// MeanDemands returns the observed mean demanded-set size (≥ 1).
+func (p *Predictor) MeanDemands() float64 {
+	if p.demandsN == 0 {
+		return 1
+	}
+	m := p.demandsSum / p.demandsN
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// Synthesize produces n representative future queries: demanded datasets
+// drawn proportionally to EWMA popularity, homes drawn from each dataset's
+// observed home distribution, selectivities and deadlines at their observed
+// means. Deterministic given the seed.
+func (p *Predictor) Synthesize(datasets []workload.Dataset, n int, seed int64) ([]workload.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("forecast: cannot synthesize %d queries", n)
+	}
+	if p.observed == 0 {
+		return nil, fmt.Errorf("forecast: no history observed")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Popularity CDF over datasets.
+	ids := p.PopularDatasets()
+	total := 0.0
+	for _, id := range ids {
+		total += p.datasetWeight[id]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("forecast: degenerate popularity mass")
+	}
+	pick := func() workload.DatasetID {
+		x := rng.Float64() * total
+		acc := 0.0
+		for _, id := range ids {
+			acc += p.datasetWeight[id]
+			if x <= acc {
+				return id
+			}
+		}
+		return ids[len(ids)-1]
+	}
+	// Home CDF per dataset.
+	homesOf := make(map[workload.DatasetID][]homeKey)
+	for k := range p.homeWeight {
+		homesOf[k.n] = append(homesOf[k.n], k)
+	}
+	for _, hs := range homesOf {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].h < hs[j].h })
+	}
+	pickHome := func(n workload.DatasetID) (graph.NodeID, bool) {
+		hs := homesOf[n]
+		if len(hs) == 0 {
+			return 0, false
+		}
+		tot := 0.0
+		for _, k := range hs {
+			tot += p.homeWeight[k]
+		}
+		x := rng.Float64() * tot
+		acc := 0.0
+		for _, k := range hs {
+			acc += p.homeWeight[k]
+			if x <= acc {
+				return k.h, true
+			}
+		}
+		return hs[len(hs)-1].h, true
+	}
+
+	meanDemands := p.MeanDemands()
+	out := make([]workload.Query, 0, n)
+	for i := 0; i < n; i++ {
+		k := int(meanDemands)
+		if rng.Float64() < meanDemands-float64(k) {
+			k++
+		}
+		if k < 1 {
+			k = 1
+		}
+		seen := map[workload.DatasetID]bool{}
+		var demands []workload.Demand
+		maxSize := 0.0
+		var home graph.NodeID
+		homeSet := false
+		for len(demands) < k && len(seen) < len(ids) {
+			ds := pick()
+			if seen[ds] {
+				continue
+			}
+			seen[ds] = true
+			demands = append(demands, workload.Demand{
+				Dataset:     ds,
+				Selectivity: p.MeanSelectivity(ds),
+			})
+			if s := datasets[ds].SizeGB; s > maxSize {
+				maxSize = s
+			}
+			if !homeSet {
+				if h, ok := pickHome(ds); ok {
+					home, homeSet = h, true
+				}
+			}
+		}
+		if len(demands) == 0 {
+			continue
+		}
+		out = append(out, workload.Query{
+			ID:           workload.QueryID(i),
+			Home:         home,
+			Demands:      demands,
+			ComputePerGB: 1.0,
+			DeadlineSec:  maxSize * p.MeanDeadlinePerGB(),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("forecast: synthesis produced nothing")
+	}
+	return out, nil
+}

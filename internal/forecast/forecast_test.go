@@ -1,0 +1,216 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/online"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+func history(t testing.TB, seed int64, nq int) ([]workload.Dataset, []workload.Query, *topology.Topology) {
+	t.Helper()
+	tc := topology.DefaultConfig()
+	tc.Seed = seed
+	top := topology.MustGenerate(tc)
+	wc := workload.DefaultConfig()
+	wc.Seed = seed
+	wc.NumDatasets = 8
+	wc.NumQueries = nq
+	w := workload.MustGenerate(wc, top)
+	return w.Datasets, w.Queries, top
+}
+
+func TestNewPredictorValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if _, err := NewPredictor(bad); err == nil {
+			t.Fatalf("alpha %v accepted", bad)
+		}
+	}
+	if _, err := NewPredictor(0.9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	p, err := NewPredictor(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, qs, _ := history(t, 1, 20)
+	if err := p.Observe(ds, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := []workload.Query{{ID: 0, Demands: []workload.Demand{{Dataset: 99}}}}
+	if err := p.Observe(ds, bad); err == nil {
+		t.Fatal("dangling dataset reference accepted")
+	}
+	if err := p.Observe(ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	if p.Observed() != 20 {
+		t.Fatalf("Observed = %d, want 20", p.Observed())
+	}
+}
+
+func TestPopularityOrdering(t *testing.T) {
+	ds := []workload.Dataset{
+		{ID: 0, SizeGB: 2}, {ID: 1, SizeGB: 2}, {ID: 2, SizeGB: 2},
+	}
+	// Dataset 1 demanded 3×, dataset 0 once, dataset 2 never.
+	qs := []workload.Query{
+		{ID: 0, Demands: []workload.Demand{{Dataset: 1, Selectivity: 0.5}}, DeadlineSec: 2},
+		{ID: 1, Demands: []workload.Demand{{Dataset: 1, Selectivity: 0.5}}, DeadlineSec: 2},
+		{ID: 2, Demands: []workload.Demand{{Dataset: 1, Selectivity: 0.5}, {Dataset: 0, Selectivity: 0.2}}, DeadlineSec: 2},
+	}
+	p, _ := NewPredictor(1.0)
+	if err := p.Observe(ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	pop := p.PopularDatasets()
+	if len(pop) != 2 || pop[0] != 1 || pop[1] != 0 {
+		t.Fatalf("popularity = %v, want [1 0]", pop)
+	}
+	if got := p.MeanSelectivity(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean selectivity %v, want 0.5", got)
+	}
+	if got := p.MeanSelectivity(2); got != 0.5 {
+		t.Fatalf("unobserved selectivity %v, want default 0.5", got)
+	}
+	if got := p.MeanDeadlinePerGB(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("deadline per GB %v, want 1.0 (deadline 2 / max size 2)", got)
+	}
+}
+
+func TestDecayForgetsOldDemand(t *testing.T) {
+	ds := []workload.Dataset{{ID: 0, SizeGB: 1}, {ID: 1, SizeGB: 1}}
+	old := []workload.Query{{ID: 0, Demands: []workload.Demand{{Dataset: 0, Selectivity: 1}}, DeadlineSec: 1}}
+	recent := []workload.Query{{ID: 1, Demands: []workload.Demand{{Dataset: 1, Selectivity: 1}}, DeadlineSec: 1}}
+	p, _ := NewPredictor(0.1) // aggressive forgetting
+	if err := p.Observe(ds, old); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Observe(ds, recent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pop := p.PopularDatasets(); pop[0] != 1 {
+		t.Fatalf("popularity = %v, recent dataset 1 should lead", pop)
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	ds, qs, _ := history(t, 3, 40)
+	p, _ := NewPredictor(0.9)
+	if err := p.Observe(ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	future, err := p.Synthesize(ds, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(future) == 0 || len(future) > 25 {
+		t.Fatalf("synthesized %d queries", len(future))
+	}
+	for _, q := range future {
+		if len(q.Demands) == 0 {
+			t.Fatal("synthesized query with no demands")
+		}
+		if q.DeadlineSec <= 0 {
+			t.Fatal("synthesized query with non-positive deadline")
+		}
+		seen := map[workload.DatasetID]bool{}
+		for _, dm := range q.Demands {
+			if seen[dm.Dataset] {
+				t.Fatal("duplicate demand in synthesized query")
+			}
+			seen[dm.Dataset] = true
+			if dm.Selectivity <= 0 || dm.Selectivity > 1 {
+				t.Fatalf("selectivity %v out of range", dm.Selectivity)
+			}
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	ds, qs, _ := history(t, 5, 10)
+	p, _ := NewPredictor(0.9)
+	if _, err := p.Synthesize(ds, 5, 1); err == nil {
+		t.Fatal("synthesis without history accepted")
+	}
+	if err := p.Observe(ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Synthesize(ds, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	ds, qs, _ := history(t, 9, 30)
+	p, _ := NewPredictor(0.9)
+	if err := p.Observe(ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Synthesize(ds, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Synthesize(ds, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic synthesis length")
+	}
+	for i := range a {
+		if a[i].Home != b[i].Home || len(a[i].Demands) != len(b[i].Demands) {
+			t.Fatal("nondeterministic synthesis")
+		}
+	}
+}
+
+// End-to-end: a forecast built from yesterday's queries improves (or at
+// least does not hurt) today's online admission versus lazy replication,
+// when today's workload resembles yesterday's.
+func TestForecastFeedsOnlinePlacement(t *testing.T) {
+	ds, history1, top := history(t, 11, 60)
+	p, _ := NewPredictor(0.9)
+	if err := p.Observe(ds, history1); err != nil {
+		t.Fatal(err)
+	}
+	future, err := p.Synthesize(ds, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Today": same distribution (same seed family), fresh draw.
+	wc := workload.DefaultConfig()
+	wc.Seed = 12
+	wc.NumDatasets = 8
+	wc.NumQueries = 50
+	today := workload.MustGenerate(wc, top)
+
+	run := func(opts online.Options) float64 {
+		prob, err := placement.NewProblem(cluster.New(top), today, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := online.NewEngine(prob, len(today.Queries), opts)
+		for i := range today.Queries {
+			if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Result().VolumeAdmitted
+	}
+	lazy := run(online.Options{})
+	forecasted := run(online.Options{Forecast: future})
+	if forecasted < lazy*0.9 {
+		t.Fatalf("forecast-driven placement much worse than lazy: %.1f vs %.1f", forecasted, lazy)
+	}
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Infinity is the distance reported between disconnected nodes.
+var Infinity = math.Inf(1)
+
+// pqItem is one entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+// pq is a binary min-heap on tentative distance.
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestPaths holds single-source shortest-path distances and parents.
+type ShortestPaths struct {
+	Source NodeID
+	Dist   []float64
+	parent []NodeID
+}
+
+// Dijkstra computes shortest paths from src using a binary heap; it runs in
+// O((V+E) log V). Unreachable nodes have distance Infinity.
+func (g *Graph) Dijkstra(src NodeID) *ShortestPaths {
+	g.check(src)
+	n := len(g.adj)
+	sp := &ShortestPaths{
+		Source: src,
+		Dist:   make([]float64, n),
+		parent: make([]NodeID, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = Infinity
+		sp.parent[i] = -1
+	}
+	sp.Dist[src] = 0
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > sp.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, nb := range g.adj[it.node] {
+			if d := it.dist + nb.w; d < sp.Dist[nb.to] {
+				sp.Dist[nb.to] = d
+				sp.parent[nb.to] = it.node
+				heap.Push(h, pqItem{node: nb.to, dist: d})
+			}
+		}
+	}
+	return sp
+}
+
+// PathTo reconstructs the shortest path from the source to dst, inclusive of
+// both endpoints. It returns nil when dst is unreachable.
+func (sp *ShortestPaths) PathTo(dst NodeID) []NodeID {
+	if int(dst) >= len(sp.Dist) || dst < 0 || math.IsInf(sp.Dist[dst], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = sp.parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DistanceMatrix holds all-pairs shortest-path distances.
+type DistanceMatrix struct {
+	n    int
+	dist []float64
+}
+
+// AllPairsShortestPaths runs Dijkstra from every node. For the sparse delay
+// graphs used here this is cheaper and simpler than Floyd–Warshall at the
+// same asymptotic cost for dense graphs.
+func (g *Graph) AllPairsShortestPaths() *DistanceMatrix {
+	n := len(g.adj)
+	m := &DistanceMatrix{n: n, dist: make([]float64, n*n)}
+	for u := 0; u < n; u++ {
+		sp := g.Dijkstra(NodeID(u))
+		copy(m.dist[u*n:(u+1)*n], sp.Dist)
+	}
+	return m
+}
+
+// NumNodes returns the node count the matrix was built for.
+func (m *DistanceMatrix) NumNodes() int { return m.n }
+
+// Between returns the shortest-path distance between u and v
+// (Infinity when disconnected).
+func (m *DistanceMatrix) Between(u, v NodeID) float64 {
+	return m.dist[int(u)*m.n+int(v)]
+}
+
+// Eccentricity returns the maximum finite distance from u to any reachable
+// node.
+func (m *DistanceMatrix) Eccentricity(u NodeID) float64 {
+	max := 0.0
+	for v := 0; v < m.n; v++ {
+		if d := m.dist[int(u)*m.n+v]; !math.IsInf(d, 1) && d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Medoid returns the member of the given set minimizing the sum of distances
+// to all other members; ties break toward the smaller ID. It panics on an
+// empty set because a medoid of nothing indicates a caller bug.
+func (m *DistanceMatrix) Medoid(set []NodeID) NodeID {
+	if len(set) == 0 {
+		panic("graph: medoid of empty set")
+	}
+	best, bestSum := set[0], math.Inf(1)
+	for _, u := range set {
+		sum := 0.0
+		for _, v := range set {
+			sum += m.Between(u, v)
+		}
+		if sum < bestSum || (sum == bestSum && u < best) {
+			best, bestSum = u, sum
+		}
+	}
+	return best
+}

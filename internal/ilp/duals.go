@@ -1,0 +1,104 @@
+package ilp
+
+import (
+	"fmt"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/lp"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+// PaperDuals are the dual variables of the paper's LP relaxation (8)–(14)
+// read off the simplex solution: θ_l prices node computing capacity
+// (constraint (2)), µ_n prices replica creation (constraint (5)). The
+// assignment/deadline prices (y, η) are folded into the remaining rows.
+type PaperDuals struct {
+	// Theta maps compute nodes to their capacity price θ_l ≥ 0.
+	Theta map[graph.NodeID]float64
+	// Mu maps datasets to their replica price µ_n ≥ 0.
+	Mu map[workload.DatasetID]float64
+	// PrimalValue and DualValue are cᵀx and bᵀy of the relaxation; strong
+	// duality makes them equal.
+	PrimalValue float64
+	DualValue   float64
+}
+
+// RelaxationDuals solves the LP relaxation of the placement ILP and returns
+// the paper's dual prices. It exists to validate the primal-dual view the
+// approximation algorithm is built on (DESIGN.md §3.1): loaded nodes carry
+// positive θ, contended datasets carry positive µ.
+func RelaxationDuals(p *placement.Problem) (*PaperDuals, error) {
+	e, err := Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	// The encoder appends constraints in a fixed order; recover the row
+	// ranges of the capacity (2) and replica-bound (5) rows by rebuilding
+	// the same bookkeeping.
+	nodes := p.Cloud.ComputeNodes()
+
+	// Count (3-general) rows: one per (query, demand) — either EQ or the
+	// z≤0 forcing row.
+	rowsBundle := 0
+	for qi := range p.Queries {
+		rowsBundle += len(p.Queries[qi].Demands)
+	}
+	// Count (3) rows: one per existing π variable.
+	rowsPi := len(e.pIdx)
+	// Capacity rows: one per node that serves at least one π variable.
+	capacityNodes := make([]graph.NodeID, 0, len(nodes))
+	for _, l := range nodes {
+		any := false
+		for qi := range p.Queries {
+			for _, dm := range p.Queries[qi].Demands {
+				if _, ok := e.pIdx[pKey{p.Queries[qi].ID, dm.Dataset, l}]; ok {
+					any = true
+				}
+			}
+		}
+		if any {
+			capacityNodes = append(capacityNodes, l)
+		}
+	}
+
+	// The encoder's upper bounds (binaries ≤ 1) are applied by ilp.Solve,
+	// not stored in the LP; append them here so the relaxation is the true
+	// 0-1 relaxation. Bound rows come after every structural row, keeping
+	// the θ/µ row offsets computed above valid.
+	bounded := lp.Problem{
+		Objective:   e.prob.LP.Objective,
+		Constraints: append([]lp.Constraint(nil), e.prob.LP.Constraints...),
+	}
+	nvar := len(bounded.Objective)
+	for j := 0; j < nvar; j++ {
+		row := make([]float64, nvar)
+		row[j] = 1
+		bounded.Constraints = append(bounded.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(&bounded)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("ilp: bounded relaxation ended %v", sol.Status)
+	}
+
+	d := &PaperDuals{
+		Theta:       make(map[graph.NodeID]float64),
+		Mu:          make(map[workload.DatasetID]float64),
+		PrimalValue: sol.Value,
+	}
+	capStart := rowsBundle + rowsPi
+	for i, l := range capacityNodes {
+		d.Theta[l] = sol.Duals[capStart+i]
+	}
+	repStart := capStart + len(capacityNodes)
+	for n := range p.Datasets {
+		d.Mu[workload.DatasetID(n)] = sol.Duals[repStart+n]
+	}
+	for i, c := range bounded.Constraints {
+		d.DualValue += c.RHS * sol.Duals[i]
+	}
+	return d, nil
+}

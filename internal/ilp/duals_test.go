@@ -1,0 +1,57 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelaxationDualsStrongDuality(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := tinyProblem(t, seed, 6, 4, 2)
+		d, err := RelaxationDuals(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(d.PrimalValue-d.DualValue) > 1e-6*(1+math.Abs(d.PrimalValue)) {
+			t.Fatalf("seed %d: strong duality violated: primal %v dual %v",
+				seed, d.PrimalValue, d.DualValue)
+		}
+	}
+}
+
+func TestRelaxationDualsSigns(t *testing.T) {
+	p := tinyProblem(t, 5, 6, 4, 2)
+	d, err := RelaxationDuals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ and µ price ≤-constraints of a maximization: non-negative.
+	for l, th := range d.Theta {
+		if th < -1e-7 {
+			t.Fatalf("θ_%d = %v negative", l, th)
+		}
+	}
+	for n, mu := range d.Mu {
+		if mu < -1e-7 {
+			t.Fatalf("µ_%d = %v negative", n, mu)
+		}
+	}
+}
+
+func TestRelaxationBoundsIntegerOptimum(t *testing.T) {
+	// The LP relaxation upper-bounds the ILP optimum.
+	for _, seed := range []int64{1, 4, 7} {
+		p := tinyProblem(t, seed, 6, 4, 2)
+		d, err := RelaxationDuals(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SolveExact(tinyProblem(t, seed, 6, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt := exact.Volume(tinyProblem(t, seed, 6, 4, 2)); d.PrimalValue < opt-1e-6 {
+			t.Fatalf("seed %d: relaxation %v below integer optimum %v", seed, d.PrimalValue, opt)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"edgerep/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 60a + 100b + 120c, 10a + 20b + 30c ≤ 50, binary → b+c = 220.
+	p := &Problem{
+		LP: lp.Problem{
+			Objective: []float64{60, 100, 120},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{10, 20, 30}, Sense: lp.LE, RHS: 50},
+			},
+		},
+		Integer:    []bool{true, true, true},
+		UpperBound: []float64{1, 1, 1},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Optimal || math.Abs(s.Value-220) > 1e-6 {
+		t.Fatalf("got %v value %v, want optimal 220", s.Status, s.Value)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Fatalf("X = %v, want [0 1 1]", s.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x, x ≤ 2.5, x integer → 2.
+	p := &Problem{
+		LP: lp.Problem{
+			Objective: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1}, Sense: lp.LE, RHS: 2.5},
+			},
+		},
+		Integer: []bool{true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 2 || s.X[0] != 2 {
+		t.Fatalf("value %v X %v, want 2", s.Value, s.X)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max x + y, x ≤ 1.5 (int), y ≤ 1.5 (cont) → 1 + 1.5 = 2.5.
+	p := &Problem{
+		LP: lp.Problem{
+			Objective: []float64{1, 1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 0}, Sense: lp.LE, RHS: 1.5},
+				{Coeffs: []float64{0, 1}, Sense: lp.LE, RHS: 1.5},
+			},
+		},
+		Integer: []bool{true, false},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Value-2.5) > 1e-6 {
+		t.Fatalf("value %v, want 2.5", s.Value)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6 has no integer point.
+	p := &Problem{
+		LP: lp.Problem{
+			Objective: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1}, Sense: lp.GE, RHS: 0.4},
+				{Coeffs: []float64{1}, Sense: lp.LE, RHS: 0.6},
+			},
+		},
+		Integer: []bool{true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnboundedRelaxationErrors(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{Objective: []float64{1}},
+		Integer: []bool{true},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("unbounded relaxation accepted")
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{Objective: []float64{1, 2}},
+		Integer: []bool{true},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("mismatched Integer length accepted")
+	}
+	p = &Problem{
+		LP:         lp.Problem{Objective: []float64{1}},
+		Integer:    []bool{true},
+		UpperBound: []float64{1, 2},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("mismatched UpperBound length accepted")
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	// A 12-variable equality knapsack with odd target forces branching;
+	// with MaxNodes=1 the first LP relaxation is fractional, so no
+	// incumbent exists and the budget error surfaces.
+	n := 12
+	obj := make([]float64, n)
+	coef := make([]float64, n)
+	for i := range obj {
+		obj[i] = float64(i + 1)
+		coef[i] = 2
+	}
+	p := &Problem{
+		LP: lp.Problem{
+			Objective: obj,
+			Constraints: []lp.Constraint{
+				{Coeffs: coef, Sense: lp.LE, RHS: 3},
+			},
+		},
+		Integer:    make([]bool, n),
+		UpperBound: make([]float64, n),
+		MaxNodes:   1,
+	}
+	for i := range p.Integer {
+		p.Integer[i] = true
+		p.UpperBound[i] = 1
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("node budget not enforced")
+	}
+}
+
+func TestILPMatchesBruteForce(t *testing.T) {
+	// max 5a + 4b + 3c s.t. 2a + 3b + c ≤ 5, 4a + b + 2c ≤ 11,
+	// 3a + 4b + 2c ≤ 8, binary. Brute-force over 8 points.
+	obj := []float64{5, 4, 3}
+	cons := [][]float64{{2, 3, 1}, {4, 1, 2}, {3, 4, 2}}
+	rhs := []float64{5, 11, 8}
+	bestVal := math.Inf(-1)
+	for mask := 0; mask < 8; mask++ {
+		x := []float64{float64(mask & 1), float64(mask >> 1 & 1), float64(mask >> 2 & 1)}
+		ok := true
+		for i, c := range cons {
+			s := 0.0
+			for j := range c {
+				s += c[j] * x[j]
+			}
+			if s > rhs[i] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		v := 0.0
+		for j := range obj {
+			v += obj[j] * x[j]
+		}
+		if v > bestVal {
+			bestVal = v
+		}
+	}
+	p := &Problem{
+		LP:         lp.Problem{Objective: obj},
+		Integer:    []bool{true, true, true},
+		UpperBound: []float64{1, 1, 1},
+	}
+	for i, c := range cons {
+		p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{Coeffs: c, Sense: lp.LE, RHS: rhs[i]})
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Value-bestVal) > 1e-6 {
+		t.Fatalf("ILP value %v, brute force %v", s.Value, bestVal)
+	}
+}

@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualsSimpleLE(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6. Optimum (4,0), value 12.
+	// Binding: row 0 only → y0 = 3, y1 = 0.
+	p := &Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if len(s.Duals) != 2 {
+		t.Fatalf("got %d duals, want 2", len(s.Duals))
+	}
+	if !almost(s.Duals[0], 3) || !almost(s.Duals[1], 0) {
+		t.Fatalf("duals = %v, want [3 0]", s.Duals)
+	}
+}
+
+func TestStrongDualityHandPicked(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{10, 6, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Sense: LE, RHS: 100},
+			{Coeffs: []float64{10, 4, 5}, Sense: LE, RHS: 600},
+			{Coeffs: []float64{2, 2, 6}, Sense: LE, RHS: 300},
+		},
+	}
+	s := solveOK(t, p)
+	dualVal := 0.0
+	for i, c := range p.Constraints {
+		dualVal += c.RHS * s.Duals[i]
+	}
+	if !almost(dualVal, s.Value) {
+		t.Fatalf("strong duality violated: bᵀy = %v, cᵀx = %v", dualVal, s.Value)
+	}
+}
+
+func TestDualsWithEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, y ≤ 2 → (1,2), value 5.
+	// Duals: equality row y0 = 1 (raising b by ε gains ε), y1 = 1.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 3},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if !almost(s.Duals[0], 1) || !almost(s.Duals[1], 1) {
+		t.Fatalf("duals = %v, want [1 1]", s.Duals)
+	}
+	dualVal := 3*s.Duals[0] + 2*s.Duals[1]
+	if !almost(dualVal, s.Value) {
+		t.Fatalf("strong duality: %v vs %v", dualVal, s.Value)
+	}
+}
+
+func TestDualsWithGE(t *testing.T) {
+	// max −x s.t. x ≥ 2 → x = 2, value −2. Dual of the GE row (for a
+	// maximization) is ≤ 0 and bᵀy = −2 → y = −1.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if !almost(s.Duals[0], -1) {
+		t.Fatalf("dual = %v, want -1", s.Duals[0])
+	}
+}
+
+func TestDualsFlippedRow(t *testing.T) {
+	// −x ≤ −2 (i.e. x ≥ 2), max −x. The user's row is LE with negative
+	// RHS; its dual must satisfy strong duality against the ORIGINAL b:
+	// (−2)·y = −2 → y = 1 (≥ 0, consistent with an LE row).
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if !almost(s.Duals[0], 1) {
+		t.Fatalf("dual = %v, want 1", s.Duals[0])
+	}
+	if !almost(-2*s.Duals[0], s.Value) {
+		t.Fatalf("strong duality on flipped row: %v vs %v", -2*s.Duals[0], s.Value)
+	}
+}
+
+// Property: strong duality and complementary slackness hold on random
+// feasible bounded packing LPs.
+func TestStrongDualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = 0.5 + rng.Float64()*10
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 1 + rng.Float64()*10}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = 0.1 + rng.Float64()*5
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Strong duality.
+		dualVal := 0.0
+		for i, c := range p.Constraints {
+			dualVal += c.RHS * s.Duals[i]
+		}
+		if math.Abs(dualVal-s.Value) > 1e-6*(1+math.Abs(s.Value)) {
+			return false
+		}
+		// Dual feasibility for LE rows of a maximization: y ≥ 0 and
+		// AᵀY ≥ c.
+		for i := range p.Constraints {
+			if s.Duals[i] < -1e-7 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			lhs := 0.0
+			for i, c := range p.Constraints {
+				lhs += c.Coeffs[j] * s.Duals[i]
+			}
+			if lhs < p.Objective[j]-1e-6 {
+				return false
+			}
+		}
+		// Complementary slackness: y_i > 0 ⇒ row i tight.
+		for i, c := range p.Constraints {
+			if s.Duals[i] > 1e-6 {
+				ax := 0.0
+				for j := range c.Coeffs {
+					ax += c.Coeffs[j] * s.X[j]
+				}
+				if math.Abs(ax-c.RHS) > 1e-6*(1+math.Abs(c.RHS)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

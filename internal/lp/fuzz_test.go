@@ -1,0 +1,71 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolvePacking feeds arbitrary small packing LPs to the solver and
+// checks the fundamental invariants: no panic, and when the solver reports
+// Optimal, the returned point is primal-feasible and strong duality holds.
+func FuzzSolvePacking(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2))
+	f.Add(int64(42), uint8(5), uint8(3))
+	f.Add(int64(-7), uint8(1), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw uint8) {
+		n := 1 + int(nRaw)%6
+		m := 1 + int(mRaw)%6
+		// Deterministic pseudo-random coefficients from the seed.
+		state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+		next := func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state%1000) / 100.0
+		}
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = next()
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 1 + next()}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = next()
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("well-formed packing LP rejected: %v", err)
+		}
+		switch s.Status {
+		case Optimal:
+			for i, c := range p.Constraints {
+				lhs := 0.0
+				for j := range c.Coeffs {
+					lhs += c.Coeffs[j] * s.X[j]
+				}
+				if lhs > c.RHS+1e-5 {
+					t.Fatalf("constraint %d violated: %v > %v", i, lhs, c.RHS)
+				}
+			}
+			for j, x := range s.X {
+				if x < -1e-7 {
+					t.Fatalf("negative variable %d = %v", j, x)
+				}
+			}
+			dual := 0.0
+			for i, c := range p.Constraints {
+				dual += c.RHS * s.Duals[i]
+			}
+			if math.Abs(dual-s.Value) > 1e-4*(1+math.Abs(s.Value)) {
+				t.Fatalf("strong duality violated: %v vs %v", dual, s.Value)
+			}
+		case Unbounded:
+			// Possible when some objective coefficient is positive and a
+			// variable appears in no constraint with positive coefficient.
+		case Infeasible:
+			t.Fatalf("packing LP with non-negative RHS cannot be infeasible")
+		}
+	})
+}

@@ -1,0 +1,373 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    cᵀx
+//	subject to  Ax ≤ b   (rows marked LE)
+//	            Ax = b   (rows marked EQ)
+//	            Ax ≥ b   (rows marked GE)
+//	            x ≥ 0
+//
+// It exists so the repository can compute exact optima of the paper's ILP
+// (via internal/ilp's branch & bound) without any external solver. The
+// implementation favours clarity and robustness on the small instances used
+// in tests and the optimality-gap bench over raw speed: Bland's rule
+// guarantees termination, and a small tolerance guards degeneracy.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of one constraint row.
+type Sense int
+
+const (
+	// LE is Ax ≤ b.
+	LE Sense = iota
+	// EQ is Ax = b.
+	EQ
+	// GE is Ax ≥ b.
+	GE
+)
+
+// Constraint is one row of the program.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	// Objective holds c; the solver maximizes cᵀx.
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal: a finite optimum was found.
+	Optimal Status = iota
+	// Infeasible: the constraint set has no solution.
+	Infeasible
+	// Unbounded: the objective can grow without limit.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X is the optimal assignment (valid when Status == Optimal).
+	X []float64
+	// Value is cᵀx at the optimum.
+	Value float64
+	// Duals holds one dual value per constraint (valid when Status ==
+	// Optimal), oriented with respect to the constraints as given: for a
+	// maximization, y_i ≥ 0 on Ax ≤ b rows, y_i ≤ 0 on Ax ≥ b rows, free
+	// on equalities, and strong duality gives Σ b_i·y_i = Value.
+	Duals []float64
+}
+
+// ErrBadProblem reports a structurally invalid program.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const eps = 1e-9
+
+// Validate reports nil for a well-formed program.
+func (p *Problem) Validate() error {
+	n := len(p.Objective)
+	if n == 0 {
+		return fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("%w: constraint %d has %d coefficients, want %d",
+				ErrBadProblem, i, len(c.Coeffs), n)
+		}
+		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
+			return fmt.Errorf("%w: constraint %d has unknown sense %d", ErrBadProblem, i, c.Sense)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: constraint %d coefficient %d is %v", ErrBadProblem, i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("%w: constraint %d RHS is %v", ErrBadProblem, i, c.RHS)
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: objective coefficient %d is %v", ErrBadProblem, j, v)
+		}
+	}
+	return nil
+}
+
+// tableau is the standard-form working matrix: rows are constraints (with
+// slack/surplus/artificial columns appended), the last row is the objective.
+type tableau struct {
+	rows, cols int // constraint rows, total columns (excl. RHS)
+	a          [][]float64
+	basis      []int
+	numVars    int // original variables
+	// barred marks columns (artificials after phase 1) that must never
+	// re-enter the basis; kept intact so duals can be read off them.
+	barred []bool
+}
+
+// Solve runs two-phase primal simplex.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Objective)
+	m := len(p.Constraints)
+
+	// Normalize to RHS ≥ 0 by flipping rows.
+	rows := make([]Constraint, m)
+	flipped := make([]bool, m)
+	for i, c := range p.Constraints {
+		coeffs := append([]float64(nil), c.Coeffs...)
+		sense, rhs := c.Sense, c.RHS
+		if rhs < 0 {
+			flipped[i] = true
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs}
+	}
+
+	// Column layout: [x (n)] [slack/surplus (≤ m)] [artificial (≤ m)].
+	slackCols, artCols := 0, 0
+	for _, c := range rows {
+		switch c.Sense {
+		case LE:
+			slackCols++
+		case GE:
+			slackCols++
+			artCols++
+		case EQ:
+			artCols++
+		}
+	}
+	cols := n + slackCols + artCols
+	t := &tableau{rows: m, cols: cols, numVars: n, basis: make([]int, m)}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, cols+1) // +1 for RHS
+	}
+	slackAt, artAt := n, n+slackCols
+	artificial := make([]int, 0, artCols)
+	t.barred = make([]bool, cols)
+	// dualCol/dualSign locate, per normalized row, an identity column from
+	// which the row's dual value can be read in the final objective row:
+	// y_i = dualSign · (c_j − z_j) of that column.
+	dualCol := make([]int, m)
+	dualSign := make([]float64, m)
+	for i, c := range rows {
+		copy(t.a[i], c.Coeffs)
+		t.a[i][cols] = c.RHS
+		switch c.Sense {
+		case LE:
+			t.a[i][slackAt] = 1
+			t.basis[i] = slackAt
+			dualCol[i], dualSign[i] = slackAt, -1 // A_j = +e_i
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			dualCol[i], dualSign[i] = slackAt, 1 // A_j = −e_i
+			slackAt++
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			artificial = append(artificial, artAt)
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			dualCol[i], dualSign[i] = artAt, -1 // A_j = +e_i
+			artificial = append(artificial, artAt)
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize Σ artificials (maximize −Σ).
+	if len(artificial) > 0 {
+		obj := t.a[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for _, j := range artificial {
+			obj[j] = -1
+		}
+		t.priceOut()
+		if status := t.iterate(); status == Unbounded {
+			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		// The objective row's RHS holds −z after price-out; phase-1's
+		// optimum z* = −Σ artificials, so a positive residual here means
+		// some artificial variable is stuck above zero: infeasible.
+		if t.a[m][cols] > eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial variables out of the basis.
+		isArt := make(map[int]bool, len(artificial))
+		for _, j := range artificial {
+			isArt[j] = true
+		}
+		for i := 0; i < m; i++ {
+			if !isArt[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+slackCols; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at zero,
+				// harmless as long as its column never re-enters.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are barred from
+	// re-entering the basis but kept intact so duals can be read off them.
+	obj := t.a[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, p.Objective)
+	for _, j := range artificial {
+		t.barred[j] = true
+	}
+	t.priceOut()
+	if status := t.iterate(); status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.a[i][cols]
+		}
+	}
+	value := 0.0
+	for j := 0; j < n; j++ {
+		value += p.Objective[j] * x[j]
+	}
+	duals := make([]float64, m)
+	for i := 0; i < m; i++ {
+		y := dualSign[i] * t.a[m][dualCol[i]]
+		if flipped[i] {
+			y = -y // the normalized row is the negation of the original
+		}
+		duals[i] = y
+	}
+	return &Solution{Status: Optimal, X: x, Value: value, Duals: duals}, nil
+}
+
+// priceOut rewrites the objective row in terms of non-basic variables.
+func (t *tableau) priceOut() {
+	m := t.rows
+	for i := 0; i < m; i++ {
+		cb := t.a[m][t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.a[m][j] -= cb * t.a[i][j]
+		}
+	}
+}
+
+// iterate runs primal simplex pivots with Bland's rule until optimality or
+// unboundedness.
+func (t *tableau) iterate() Status {
+	m := t.rows
+	for iter := 0; ; iter++ {
+		// Entering: smallest index with positive reduced cost (Bland),
+		// skipping barred (artificial) columns.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.barred != nil && t.barred[j] {
+				continue
+			}
+			if t.a[m][j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Leaving: minimum ratio, ties to smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.cols] / t.a[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	pv := t.a[leave][enter]
+	row := t.a[leave]
+	for j := 0; j <= t.cols; j++ {
+		row[j] /= pv
+	}
+	for i := 0; i <= t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.a[i][j] -= f * row[j]
+		}
+	}
+	t.basis[leave] = enter
+}

@@ -1,0 +1,284 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimple2D(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, value 12.
+	p := &Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almost(s.Value, 12) {
+		t.Fatalf("got %v value %v, want optimal 12", s.Status, s.Value)
+	}
+	if !almost(s.X[0], 4) || !almost(s.X[1], 0) {
+		t.Fatalf("X = %v, want [4 0]", s.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. x ≤ 2, y ≤ 3 → value 5 at (2,3).
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if !almost(s.Value, 5) {
+		t.Fatalf("value %v, want 5", s.Value)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, y ≤ 2 → (1,2), value 5.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 3},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almost(s.Value, 5) {
+		t.Fatalf("got %v value %v, want optimal 5", s.Status, s.Value)
+	}
+	if !almost(s.X[0], 1) || !almost(s.X[1], 2) {
+		t.Fatalf("X = %v, want [1 2]", s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max −x (i.e. minimize x) s.t. x ≥ 2 → x = 2.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almost(s.X[0], 2) {
+		t.Fatalf("got %v X=%v, want x=2", s.Status, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2 cannot hold.
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// −x ≤ −2 means x ≥ 2; max −x → x = 2.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almost(s.X[0], 2) {
+		t.Fatalf("got %v X=%v, want x=2", s.Status, s.X)
+	}
+}
+
+func TestDegenerateCycleTerminates(t *testing.T) {
+	// Classic degeneracy-prone instance (Beale); Bland's rule must
+	// terminate with the optimum 0.05 at x4=1... (objective variant).
+	p := &Problem{
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v, want optimal", s.Status)
+	}
+	if !almost(s.Value, 0.05) {
+		t.Fatalf("value %v, want 0.05", s.Value)
+	}
+}
+
+func TestKnapsackRelaxation(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c ≤ 100, 10a+4b+5c ≤ 600, 2a+2b+6c ≤ 300.
+	// Known optimum ≈ 733.333 at a≈33.33, b≈66.67, c=0.
+	p := &Problem{
+		Objective: []float64{10, 6, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Sense: LE, RHS: 100},
+			{Coeffs: []float64{10, 4, 5}, Sense: LE, RHS: 600},
+			{Coeffs: []float64{2, 2, 6}, Sense: LE, RHS: 300},
+		},
+	}
+	s := solveOK(t, p)
+	if !almost(s.Value, 2200.0/3.0) {
+		t.Fatalf("value %v, want %v", s.Value, 2200.0/3.0)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []*Problem{
+		{Objective: nil},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE, RHS: 1}}},
+		{Objective: []float64{math.NaN()}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{math.Inf(1)}, Sense: LE, RHS: 1}}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: Sense(9), RHS: 1}}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: math.NaN()}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Fatalf("malformed problem %d accepted", i)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(7).String() != "Status(7)" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+// Property: for random feasible bounded packing LPs (all coefficients ≥ 0,
+// RHS > 0), the solution is feasible and no constraint is violated.
+func TestRandomPackingFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 10
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 1 + rng.Float64()*10}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = rng.Float64() * 5
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimum of a packing LP weakly increases when every RHS is
+// doubled (feasible region grows).
+func TestMonotoneInRHSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		base := &Problem{Objective: make([]float64, n)}
+		for j := range base.Objective {
+			base.Objective[j] = rng.Float64() * 10
+		}
+		grown := &Problem{Objective: base.Objective}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 1 + rng.Float64()*5}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = 0.1 + rng.Float64()*5
+			}
+			base.Constraints = append(base.Constraints, c)
+			grown.Constraints = append(grown.Constraints,
+				Constraint{Coeffs: c.Coeffs, Sense: LE, RHS: 2 * c.RHS})
+		}
+		s1, err1 := Solve(base)
+		s2, err2 := Solve(grown)
+		if err1 != nil || err2 != nil || s1.Status != Optimal || s2.Status != Optimal {
+			return false
+		}
+		return s2.Value >= s1.Value-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimplex20x30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Problem{Objective: make([]float64, 30)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64() * 10
+	}
+	for i := 0; i < 20; i++ {
+		c := Constraint{Coeffs: make([]float64, 30), Sense: LE, RHS: 5 + rng.Float64()*10}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = rng.Float64() * 3
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

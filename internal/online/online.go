@@ -1,0 +1,360 @@
+// Package online extends the paper's proactive (offline) placement to the
+// dynamic setting its §2.4 gestures at: queries arrive over time, hold their
+// computing allocation only while executing, and must be admitted or
+// rejected irrevocably on arrival. Replicas are still placed proactively —
+// either by the offline coverage phase over a forecast workload, or lazily
+// up to the K bound — and the admission decision reuses the same dual
+// prices as internal/core, evaluated against the *instantaneous* load.
+//
+// This is the classic online primal-dual packing setting, where the
+// exponential capacity price θ(u) = (c^u − 1)/(c − 1) with c = 1 + T (T =
+// expected number of arrivals) yields the known O(log T) competitiveness
+// for packing; the engine exposes the price base so the ablation bench can
+// sweep it.
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+// Arrival is one query arriving at a point in time. HoldSec is how long its
+// allocation is held (the evaluation duration); zero means hold forever
+// (degenerates to the offline capacity model).
+type Arrival struct {
+	Query   workload.QueryID
+	AtSec   float64
+	HoldSec float64
+}
+
+// Options tunes the online engine.
+type Options struct {
+	// PriceBase is c in the capacity price; zero means 1 + number of
+	// arrivals.
+	PriceBase float64
+	// DelayPriceWeight scales the deadline-slack price; zero means 0.15.
+	DelayPriceWeight float64
+	// Forecast, when non-nil, is the workload used to pre-place preferred
+	// replica sites (the proactive phase run on a forecast instead of the
+	// actual arrivals). Nil means fully lazy replication.
+	Forecast []workload.Query
+	// MaxUtilization rejects any admission that would push a node above
+	// this fraction of capacity; zero means 1.0 (no headroom reserved).
+	MaxUtilization float64
+}
+
+func (o Options) priceBase(n int) float64 {
+	if o.PriceBase > 0 {
+		return o.PriceBase
+	}
+	return 1 + float64(n)
+}
+
+func (o Options) delayWeight() float64 {
+	if o.DelayPriceWeight > 0 {
+		return o.DelayPriceWeight
+	}
+	return 0.15
+}
+
+func (o Options) maxUtil() float64 {
+	if o.MaxUtilization > 0 {
+		return o.MaxUtilization
+	}
+	return 1.0
+}
+
+// Decision records the outcome for one arrival.
+type Decision struct {
+	Query    workload.QueryID
+	Admitted bool
+	// Assignments is per-demand, set when admitted.
+	Assignments []placement.Assignment
+}
+
+// Result summarizes an online run.
+type Result struct {
+	Decisions []Decision
+	// VolumeAdmitted is the objective achieved online.
+	VolumeAdmitted float64
+	Admitted       int
+	Rejected       int
+	// PeakUtilization is the highest instantaneous node utilization seen.
+	PeakUtilization float64
+}
+
+// release is a scheduled capacity release.
+type release struct {
+	at   float64
+	node graph.NodeID
+	amt  float64
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int            { return len(h) }
+func (h releaseHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Engine processes arrivals one at a time.
+type Engine struct {
+	p    *placement.Problem
+	opt  Options
+	base float64
+
+	used     map[graph.NodeID]float64
+	releases releaseHeap
+	now      float64
+
+	sol  *placement.Solution
+	res  Result
+	peak float64
+
+	// preferredSites are the forecast-derived proactive sites; replicas at
+	// a preferred site open at zero µ price.
+	preferredSites map[workload.DatasetID]map[graph.NodeID]bool
+}
+
+// NewEngine builds an online engine over a placement problem. The problem's
+// query list is the universe arrivals refer into; replica bookkeeping and
+// the K bound come from the problem.
+func NewEngine(p *placement.Problem, expectedArrivals int, opt Options) *Engine {
+	e := &Engine{
+		p:    p,
+		opt:  opt,
+		base: opt.priceBase(expectedArrivals),
+		used: make(map[graph.NodeID]float64),
+		sol:  placement.NewSolution(),
+	}
+	if opt.Forecast != nil {
+		e.prePlace(opt.Forecast)
+	}
+	return e
+}
+
+// prePlace derives preferred sites from the forecast with the same
+// capacity-capped volume-weighted maximum-coverage rule as the offline
+// proactive phase (internal/core); replicas still materialize lazily.
+func (e *Engine) prePlace(forecast []workload.Query) {
+	type demandRef struct {
+		qi, di int
+		need   float64
+	}
+	perDataset := make(map[workload.DatasetID][]demandRef)
+	for qi := range forecast {
+		q := &forecast[qi]
+		for di, dm := range q.Demands {
+			need := e.p.Datasets[dm.Dataset].SizeGB * q.ComputePerGB
+			perDataset[dm.Dataset] = append(perDataset[dm.Dataset], demandRef{qi, di, need})
+		}
+	}
+	feasible := func(d demandRef, ds workload.DatasetID, v graph.NodeID) bool {
+		q := &forecast[d.qi]
+		delay, ok := e.evalDelayForecast(q, q.Demands[d.di], v)
+		return ok && delay <= q.DeadlineSec
+	}
+	claimed := make(map[graph.NodeID]float64)
+	e.preferredSites = make(map[workload.DatasetID]map[graph.NodeID]bool)
+	for n := range e.p.Datasets {
+		ds := workload.DatasetID(n)
+		demands := perDataset[ds]
+		if len(demands) == 0 {
+			continue
+		}
+		covered := make([]bool, len(demands))
+		for slot := 0; slot < e.p.MaxReplicas; slot++ {
+			var bestNode graph.NodeID = -1
+			bestEff := 0.0
+			for _, v := range e.p.Cloud.ComputeNodes() {
+				if e.preferredSites[ds][v] {
+					continue
+				}
+				cover := 0.0
+				for i, d := range demands {
+					if !covered[i] && feasible(d, ds, v) {
+						cover += d.need
+					}
+				}
+				if cover <= 0 {
+					continue
+				}
+				eff := math.Min(cover, e.p.Cloud.Capacity(v)-claimed[v])
+				if eff > bestEff {
+					bestNode, bestEff = v, eff
+				}
+			}
+			if bestNode == -1 || bestEff <= 0 {
+				break
+			}
+			if e.preferredSites[ds] == nil {
+				e.preferredSites[ds] = make(map[graph.NodeID]bool)
+			}
+			e.preferredSites[ds][bestNode] = true
+			budget := e.p.Cloud.Capacity(bestNode) - claimed[bestNode]
+			marked := 0.0
+			for i, d := range demands {
+				if covered[i] || !feasible(d, ds, bestNode) {
+					continue
+				}
+				if marked+d.need > budget && marked > 0 {
+					break
+				}
+				covered[i] = true
+				marked += d.need
+			}
+			claimed[bestNode] += marked
+		}
+	}
+}
+
+// evalDelayForecast evaluates the model delay for a forecast query that may
+// not be part of the problem's query list.
+func (e *Engine) evalDelayForecast(q *workload.Query, dm workload.Demand, v graph.NodeID) (float64, bool) {
+	size := e.p.Datasets[dm.Dataset].SizeGB
+	proc := size * e.p.Cloud.ProcDelayPerGB(v)
+	trans := size * dm.Selectivity * e.p.Cloud.TransferDelayPerGB(v, q.Home)
+	return proc + trans, true
+}
+
+// theta prices node v at the current instantaneous utilization.
+func (e *Engine) theta(v graph.NodeID) float64 {
+	capGHz := e.p.Cloud.Capacity(v)
+	if capGHz <= 0 {
+		return math.Inf(1)
+	}
+	u := e.used[v] / capGHz
+	return (math.Pow(e.base, u) - 1) / (e.base - 1)
+}
+
+// Offer processes one arrival and returns its decision. Arrivals must be
+// offered in non-decreasing time order.
+func (e *Engine) Offer(a Arrival) (Decision, error) {
+	if int(a.Query) < 0 || int(a.Query) >= len(e.p.Queries) {
+		return Decision{}, fmt.Errorf("online: unknown query %d", a.Query)
+	}
+	if a.AtSec < e.now {
+		return Decision{}, fmt.Errorf("online: arrival at %.3fs before current time %.3fs", a.AtSec, e.now)
+	}
+	e.now = a.AtSec
+	// Release every allocation that completed before now.
+	for len(e.releases) > 0 && e.releases[0].at <= e.now {
+		r := heap.Pop(&e.releases).(release)
+		e.used[r.node] -= r.amt
+		if e.used[r.node] < 0 {
+			e.used[r.node] = 0
+		}
+	}
+
+	q := &e.p.Queries[a.Query]
+	// Plan each demand against instantaneous load; all-or-nothing.
+	tentative := make(map[graph.NodeID]float64)
+	tentOpen := make(map[workload.DatasetID]map[graph.NodeID]bool)
+	var as []placement.Assignment
+	admitted := true
+	for _, dm := range q.Demands {
+		v, ok := e.pickNode(a.Query, dm, tentative, tentOpen)
+		if !ok {
+			admitted = false
+			break
+		}
+		need := e.p.ComputeNeed(a.Query, dm.Dataset)
+		tentative[v] += need
+		if !e.sol.HasReplica(dm.Dataset, v) {
+			m := tentOpen[dm.Dataset]
+			if m == nil {
+				m = make(map[graph.NodeID]bool)
+				tentOpen[dm.Dataset] = m
+			}
+			m[v] = true
+		}
+		as = append(as, placement.Assignment{Query: a.Query, Dataset: dm.Dataset, Node: v})
+	}
+
+	dec := Decision{Query: a.Query, Admitted: admitted}
+	if admitted {
+		dec.Assignments = as
+		for _, asg := range as {
+			need := e.p.ComputeNeed(a.Query, asg.Dataset)
+			e.used[asg.Node] += need
+			if u := e.used[asg.Node] / e.p.Cloud.Capacity(asg.Node); u > e.peak {
+				e.peak = u
+			}
+			e.sol.AddReplica(asg.Dataset, asg.Node)
+			if a.HoldSec > 0 {
+				heap.Push(&e.releases, release{at: a.AtSec + a.HoldSec, node: asg.Node, amt: need})
+			}
+		}
+		e.sol.Admit(a.Query, as)
+		e.res.Admitted++
+		e.res.VolumeAdmitted += q.DemandedVolume(e.p.Datasets)
+	} else {
+		e.res.Rejected++
+	}
+	e.res.Decisions = append(e.res.Decisions, dec)
+	return dec, nil
+}
+
+// pickNode selects the cheapest feasible node for one demand under the
+// instantaneous dual prices.
+func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
+	tentative map[graph.NodeID]float64, tentOpen map[workload.DatasetID]map[graph.NodeID]bool) (graph.NodeID, bool) {
+
+	need := e.p.ComputeNeed(q, dm.Dataset)
+	size := e.p.Datasets[dm.Dataset].SizeGB
+	deadline := e.p.Queries[q].DeadlineSec
+	openCount := e.sol.ReplicaCount(dm.Dataset) + len(tentOpen[dm.Dataset])
+	maxU := e.opt.maxUtil()
+
+	var best graph.NodeID = -1
+	bestCost := math.Inf(1)
+	for _, v := range e.p.Cloud.ComputeNodes() {
+		delay, ok := e.p.EvalDelay(q, dm.Dataset, v)
+		if !ok || delay > deadline {
+			continue
+		}
+		capGHz := e.p.Cloud.Capacity(v)
+		if e.used[v]+tentative[v]+need > capGHz*maxU+1e-9 {
+			continue
+		}
+		has := e.sol.HasReplica(dm.Dataset, v) || tentOpen[dm.Dataset][v]
+		rep := 0.0
+		if !has {
+			if openCount >= e.p.MaxReplicas {
+				continue
+			}
+			if e.preferredSites == nil || !e.preferredSites[dm.Dataset][v] {
+				rep = 0.25 * size * float64(openCount+1) / float64(e.p.MaxReplicas)
+			}
+		}
+		cost := need*e.theta(v) + e.opt.delayWeight()*size*(delay/deadline) + rep
+		if cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	return best, best != -1
+}
+
+// Result returns the accumulated run summary.
+func (e *Engine) Result() Result {
+	r := e.res
+	r.PeakUtilization = e.peak
+	return r
+}
+
+// Solution returns the replica layout and admissions so far. With
+// HoldSec > 0 arrivals the capacity constraint is temporal, so the offline
+// validator's capacity check does not apply; replica and deadline
+// constraints still hold.
+func (e *Engine) Solution() *placement.Solution { return e.sol }

@@ -1,0 +1,255 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/core"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+func problem(t testing.TB, seed int64, nq int) (*placement.Problem, *workload.Workload) {
+	t.Helper()
+	tc := topology.DefaultConfig()
+	tc.Seed = seed
+	top := topology.MustGenerate(tc)
+	wc := workload.DefaultConfig()
+	wc.Seed = seed
+	wc.NumDatasets = 10
+	wc.NumQueries = nq
+	wc.MaxDatasetsPerQuery = 4
+	w := workload.MustGenerate(wc, top)
+	p, err := placement.NewProblem(cluster.New(top), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w
+}
+
+func TestOfferBasicAdmission(t *testing.T) {
+	p, w := problem(t, 1, 30)
+	e := NewEngine(p, len(w.Queries), Options{})
+	admitted := 0
+	for i := range w.Queries {
+		dec, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Admitted {
+			admitted++
+			if len(dec.Assignments) != len(w.Queries[i].Demands) {
+				t.Fatalf("query %d admitted with %d/%d assignments",
+					i, len(dec.Assignments), len(w.Queries[i].Demands))
+			}
+		}
+	}
+	r := e.Result()
+	if r.Admitted != admitted || r.Admitted+r.Rejected != len(w.Queries) {
+		t.Fatalf("bookkeeping: %+v vs admitted %d of %d", r, admitted, len(w.Queries))
+	}
+	if admitted == 0 {
+		t.Fatal("online engine admitted nothing")
+	}
+	if r.PeakUtilization <= 0 || r.PeakUtilization > 1+1e-9 {
+		t.Fatalf("peak utilization %v outside (0,1]", r.PeakUtilization)
+	}
+}
+
+func TestHoldForeverMatchesOfflineCapacityModel(t *testing.T) {
+	// With HoldSec = 0 (never released), the online solution must satisfy
+	// the offline validator's capacity constraint.
+	p, w := problem(t, 2, 40)
+	e := NewEngine(p, len(w.Queries), Options{})
+	for i := range w.Queries {
+		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Solution().Validate(p); err != nil {
+		t.Fatalf("online hold-forever solution fails offline validation: %v", err)
+	}
+}
+
+func TestCapacityReleasedAfterHold(t *testing.T) {
+	// Arrivals far apart with short holds: capacity is reused, so many
+	// more queries are admitted than the hold-forever run.
+	pHold, w := problem(t, 3, 60)
+	eHold := NewEngine(pHold, len(w.Queries), Options{})
+	pRel, _ := problem(t, 3, 60)
+	eRel := NewEngine(pRel, len(w.Queries), Options{})
+	for i := range w.Queries {
+		at := float64(i) * 10
+		if _, err := eHold.Offer(Arrival{Query: workload.QueryID(i), AtSec: at}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eRel.Offer(Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eRel.Result().Admitted < eHold.Result().Admitted {
+		t.Fatalf("releasing capacity admitted fewer queries (%d) than holding forever (%d)",
+			eRel.Result().Admitted, eHold.Result().Admitted)
+	}
+	// With 10s gaps and 1s holds, no two allocations overlap, so every
+	// rejection is due to deadlines or the K-frozen replica sets — never
+	// capacity. Sanity-bound: at least half the deadline-feasible queries
+	// must get in (K-freezing accounts for the rest).
+	deadlineOnly := 0
+	for i := range w.Queries {
+		feasible := true
+		for _, dm := range w.Queries[i].Demands {
+			if len(pRel.FeasibleNodes(workload.QueryID(i), dm.Dataset)) == 0 {
+				feasible = false
+			}
+		}
+		if feasible {
+			deadlineOnly++
+		}
+	}
+	if eRel.Result().Admitted < deadlineOnly/2 {
+		t.Fatalf("short-hold run admitted %d, expected at least half of the %d deadline-feasible queries",
+			eRel.Result().Admitted, deadlineOnly)
+	}
+}
+
+func TestReplicaBoundHeldOnline(t *testing.T) {
+	p, w := problem(t, 4, 50)
+	e := NewEngine(p, len(w.Queries), Options{})
+	for i := range w.Queries {
+		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n, nodes := range e.Solution().Replicas {
+		if len(nodes) > p.MaxReplicas {
+			t.Fatalf("dataset %d has %d replicas online, K=%d", n, len(nodes), p.MaxReplicas)
+		}
+	}
+}
+
+func TestArrivalOrderEnforced(t *testing.T) {
+	p, _ := problem(t, 5, 10)
+	e := NewEngine(p, 10, Options{})
+	if _, err := e.Offer(Arrival{Query: 0, AtSec: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Offer(Arrival{Query: 1, AtSec: 3}); err == nil {
+		t.Fatal("time-travel arrival accepted")
+	}
+	if _, err := e.Offer(Arrival{Query: workload.QueryID(99), AtSec: 6}); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestForecastImprovesOrMatchesLazy(t *testing.T) {
+	// The forecast-driven preferred sites should not hurt admitted volume
+	// on average when the forecast equals the actual workload.
+	var lazySum, foreSum float64
+	for seed := int64(1); seed <= 6; seed++ {
+		pLazy, w := problem(t, seed, 50)
+		eLazy := NewEngine(pLazy, len(w.Queries), Options{})
+		pFore, _ := problem(t, seed, 50)
+		eFore := NewEngine(pFore, len(w.Queries), Options{Forecast: w.Queries})
+		for i := range w.Queries {
+			if _, err := eLazy.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eFore.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lazySum += eLazy.Result().VolumeAdmitted
+		foreSum += eFore.Result().VolumeAdmitted
+	}
+	if foreSum < lazySum*0.95 {
+		t.Fatalf("forecast placement hurt online volume: %.1f vs lazy %.1f", foreSum, lazySum)
+	}
+}
+
+func TestMaxUtilizationHeadroom(t *testing.T) {
+	p, w := problem(t, 7, 60)
+	e := NewEngine(p, len(w.Queries), Options{MaxUtilization: 0.5})
+	for i := range w.Queries {
+		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peak := e.Result().PeakUtilization; peak > 0.5+1e-9 {
+		t.Fatalf("peak utilization %v exceeds the 0.5 headroom cap", peak)
+	}
+}
+
+// Offline Appro-G sees all queries at once and should beat (or match) the
+// online engine that must decide irrevocably per arrival.
+func TestOfflineDominatesOnline(t *testing.T) {
+	var onSum, offSum float64
+	for seed := int64(1); seed <= 6; seed++ {
+		pOn, w := problem(t, seed, 50)
+		e := NewEngine(pOn, len(w.Queries), Options{})
+		for i := range w.Queries {
+			if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		onSum += e.Result().VolumeAdmitted
+		pOff, _ := problem(t, seed, 50)
+		res, err := core.ApproG(pOff, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offSum += res.Solution.Volume(pOff)
+	}
+	if onSum > offSum*1.05 {
+		t.Fatalf("online (%.1f) implausibly beats offline (%.1f)", onSum, offSum)
+	}
+}
+
+// Property: for any arrival permutation, the engine never violates the
+// instantaneous capacity of any node.
+func TestInstantaneousCapacityProperty(t *testing.T) {
+	p, w := problem(t, 11, 40)
+	f := func(permSeed int64) bool {
+		pp, _ := problem(t, 11, 40)
+		e := NewEngine(pp, len(w.Queries), Options{})
+		order := rand.New(rand.NewSource(permSeed)).Perm(len(w.Queries))
+		for i, qi := range order {
+			dec, err := e.Offer(Arrival{Query: workload.QueryID(qi), AtSec: float64(i), HoldSec: 5})
+			if err != nil {
+				return false
+			}
+			_ = dec
+		}
+		return e.Result().PeakUtilization <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+}
+
+func BenchmarkOnlineOffer(b *testing.B) {
+	tc := topology.DefaultConfig()
+	top := topology.MustGenerate(tc)
+	wc := workload.DefaultConfig()
+	wc.NumDatasets = 10
+	wc.NumQueries = 100
+	w := workload.MustGenerate(wc, top)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := placement.NewProblem(cluster.New(top), w, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := NewEngine(p, len(w.Queries), Options{})
+		for qi := range w.Queries {
+			if _, err := e.Offer(Arrival{Query: workload.QueryID(qi), AtSec: float64(qi), HoldSec: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

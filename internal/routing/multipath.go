@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+)
+
+// MeasureFootprintMultipath routes intermediate-result transfers with
+// bottleneck-aware path selection: for every transfer, up to k near-shortest
+// candidate paths (Yen's algorithm, internal/graph) whose delay stays within
+// stretch × the shortest-path delay are considered, and the candidate that
+// minimizes the resulting maximum link load is chosen. Transfers are
+// processed in decreasing volume so the heaviest flows pick first. This is
+// the knob an operator turns when one WMAN link saturates: a little delay
+// stretch buys a flatter load profile. Delay-stretch bounding keeps every
+// transfer within stretch of the placement model's delay assumption, so
+// admitted queries stay approximately on deadline.
+func MeasureFootprintMultipath(p *placement.Problem, sol *placement.Solution, top *topology.Topology, k int, stretch float64) (*Footprint, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("routing: k = %d, need ≥ 1", k)
+	}
+	if stretch < 1 {
+		return nil, fmt.Errorf("routing: stretch %v < 1", stretch)
+	}
+	fp := &Footprint{Loads: make(LoadMap)}
+
+	type pair struct{ src, dst int }
+	cache := make(map[pair][]Path)
+	pathsFor := func(src, dst int) ([]Path, error) {
+		key := pair{src, dst}
+		if ps, ok := cache[key]; ok {
+			return ps, nil
+		}
+		wps, err := top.Graph.KShortestPaths(top.Nodes[src].ID, top.Nodes[dst].ID, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(wps) == 0 {
+			return nil, fmt.Errorf("routing: no path %d→%d", src, dst)
+		}
+		limit := wps[0].Weight * stretch
+		var out []Path
+		for _, wp := range wps {
+			if wp.Weight <= limit+1e-12 {
+				out = append(out, Path{Nodes: wp.Nodes, DelayPerGB: wp.Weight})
+			}
+		}
+		cache[key] = out
+		return out, nil
+	}
+
+	// Collect transfers, heaviest first, with deterministic tie-breaks.
+	type transfer struct {
+		src, dst int
+		vol      float64
+		q        int
+		ds       int
+	}
+	var transfers []transfer
+	for _, a := range sol.Assignments {
+		d, ok := p.Demand(a.Query, a.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("routing: assignment for non-demanded dataset %d of query %d", a.Dataset, a.Query)
+		}
+		home := p.Queries[a.Query].Home
+		if a.Node == home {
+			continue
+		}
+		transfers = append(transfers, transfer{
+			src: int(a.Node), dst: int(home),
+			vol: p.Datasets[a.Dataset].SizeGB * d.Selectivity,
+			q:   int(a.Query), ds: int(a.Dataset),
+		})
+	}
+	sort.Slice(transfers, func(i, j int) bool {
+		if transfers[i].vol != transfers[j].vol {
+			return transfers[i].vol > transfers[j].vol
+		}
+		if transfers[i].q != transfers[j].q {
+			return transfers[i].q < transfers[j].q
+		}
+		return transfers[i].ds < transfers[j].ds
+	})
+
+	for _, tr := range transfers {
+		paths, err := pathsFor(tr.src, tr.dst)
+		if err != nil {
+			return nil, err
+		}
+		// Pick the candidate minimizing the resulting max load across its
+		// own links; ties favour the shorter (earlier) path.
+		bestIdx := 0
+		bestPeak := -1.0
+		for i, path := range paths {
+			peak := 0.0
+			for j := 1; j < len(path.Nodes); j++ {
+				l := canonical(path.Nodes[j-1], path.Nodes[j])
+				if load := fp.Loads[l] + tr.vol; load > peak {
+					peak = load
+				}
+			}
+			if bestPeak < 0 || peak < bestPeak-1e-12 {
+				bestIdx, bestPeak = i, peak
+			}
+		}
+		chosen := paths[bestIdx]
+		fp.Loads.Charge(chosen, tr.vol)
+		fp.TotalGBHops += tr.vol * float64(chosen.Hops())
+	}
+
+	for n, nodes := range sol.Replicas {
+		origin := p.Datasets[n].Origin
+		for _, v := range nodes {
+			if v == origin {
+				continue
+			}
+			paths, err := pathsFor(int(origin), int(v))
+			if err != nil {
+				return nil, err
+			}
+			fp.ReplicationGBHops += p.Datasets[n].SizeGB * float64(paths[0].Hops())
+		}
+	}
+	fp.MaxLink, fp.MaxLinkGB = fp.Loads.Max()
+	return fp, nil
+}

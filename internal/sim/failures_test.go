@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/core"
+	"edgerep/internal/graph"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+func TestNoFailuresMatchesPlainRun(t *testing.T) {
+	p, sol := solvedInstance(t, 1)
+	plain, err := Run(p, sol, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withF, err := RunWithFailures(p, sol, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withF.Queries) != len(plain.Queries) {
+		t.Fatalf("query counts differ: %d vs %d", len(withF.Queries), len(plain.Queries))
+	}
+	if withF.MeanLatencySec != plain.MeanLatencySec {
+		t.Fatalf("mean latency differs without failures: %v vs %v",
+			withF.MeanLatencySec, plain.MeanLatencySec)
+	}
+	if len(withF.FailedQueries) != 0 || withF.Aborted != 0 || withF.Reassigned != 0 {
+		t.Fatalf("phantom failure effects: %+v", withF)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	p, sol := solvedInstance(t, 2)
+	if _, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: 0, AtSec: -1}}); err == nil {
+		t.Fatal("negative failure time accepted")
+	}
+	// A switch (non-compute) node must be rejected.
+	var sw graph.NodeID = -1
+	for _, n := range p.Cloud.Topology().Nodes {
+		if n.CapacityGHz == 0 {
+			sw = n.ID
+			break
+		}
+	}
+	if sw != -1 {
+		if _, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: sw, AtSec: 1}}); err == nil {
+			t.Fatal("failure of non-compute node accepted")
+		}
+	}
+}
+
+func TestMidFlightFailureRedispatchesOrFails(t *testing.T) {
+	p, sol := solvedInstance(t, 3)
+	// Find the node serving the most assignments and fail it mid-flight.
+	counts := map[graph.NodeID]int{}
+	for _, a := range sol.Assignments {
+		counts[a.Node]++
+	}
+	var target graph.NodeID = -1
+	best := 0
+	for v, c := range counts {
+		if c > best || (c == best && (target == -1 || v < target)) {
+			target, best = v, c
+		}
+	}
+	if target == -1 {
+		t.Skip("no assignments")
+	}
+	rep, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: target, AtSec: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted == 0 {
+		t.Fatalf("failing the busiest node (%d assignments) aborted nothing", best)
+	}
+	if rep.Aborted != rep.Reassigned+failedTaskCount(rep) {
+		t.Logf("aborted %d, reassigned %d, failed queries %d — a query can lose several tasks",
+			rep.Aborted, rep.Reassigned, len(rep.FailedQueries))
+	}
+	// Accounting must close: every admitted query either completed or
+	// failed.
+	if len(rep.Queries)+len(rep.FailedQueries) != len(sol.Admitted) {
+		t.Fatalf("%d completed + %d failed != %d admitted",
+			len(rep.Queries), len(rep.FailedQueries), len(sol.Admitted))
+	}
+}
+
+func failedTaskCount(rep *FailureReport) int { return len(rep.FailedQueries) }
+
+func TestFailureAtTimeZeroKillsSingleReplicaQueries(t *testing.T) {
+	// K=1: every dataset has exactly one replica, so failing a node kills
+	// every query assigned to it with no redispatch possible.
+	p, sol := solvedInstanceK1(t, 5)
+	counts := map[graph.NodeID]int{}
+	for _, a := range sol.Assignments {
+		counts[a.Node]++
+	}
+	var target graph.NodeID = -1
+	for v, c := range counts {
+		if c > 0 && (target == -1 || v < target) {
+			target = v
+		}
+	}
+	if target == -1 {
+		t.Skip("no assignments")
+	}
+	rep, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: target, AtSec: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redispatch requires another replica of the same dataset; with K=1
+	// none exists, so every task on the failed node dooms its query.
+	if rep.Reassigned != 0 {
+		t.Fatalf("K=1 run reassigned %d tasks — no second replica should exist", rep.Reassigned)
+	}
+	if len(rep.FailedQueries) == 0 {
+		t.Fatal("failing a loaded node under K=1 failed no queries")
+	}
+}
+
+func TestDoubleFailureIdempotent(t *testing.T) {
+	p, sol := solvedInstance(t, 6)
+	var target graph.NodeID = -1
+	for _, a := range sol.Assignments {
+		target = a.Node
+		break
+	}
+	if target == -1 {
+		t.Skip("no assignments")
+	}
+	rep, err := RunWithFailures(p, sol, Config{},
+		[]NodeFailure{{Node: target, AtSec: 0.1}, {Node: target, AtSec: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries)+len(rep.FailedQueries) != len(sol.Admitted) {
+		t.Fatal("double failure broke accounting")
+	}
+}
+
+func TestFailureDeterministic(t *testing.T) {
+	p, sol := solvedInstance(t, 7)
+	var target graph.NodeID = -1
+	counts := map[graph.NodeID]int{}
+	for _, a := range sol.Assignments {
+		counts[a.Node]++
+		if counts[a.Node] > 1 {
+			target = a.Node
+		}
+	}
+	if target == -1 {
+		t.Skip("no node with 2+ assignments")
+	}
+	r1, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: target, AtSec: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunWithFailures(p, sol, Config{}, []NodeFailure{{Node: target, AtSec: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanLatencySec != r2.MeanLatencySec || len(r1.FailedQueries) != len(r2.FailedQueries) ||
+		r1.Reassigned != r2.Reassigned {
+		t.Fatal("failure simulation nondeterministic")
+	}
+}
+
+func TestLateFailureAfterCompletionIsHarmless(t *testing.T) {
+	p, sol := solvedInstance(t, 8)
+	base, err := Run(p, sol, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunWithFailures(p, sol, Config{},
+		[]NodeFailure{{Node: p.Cloud.ComputeNodes()[0], AtSec: base.MakespanSec + 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FailedQueries) != 0 || rep.Aborted != 0 {
+		t.Fatalf("failure after makespan affected queries: %+v", rep)
+	}
+	if len(rep.Queries) != len(sol.Admitted) {
+		t.Fatal("late failure lost queries")
+	}
+}
+
+// solvedInstanceK1 is solvedInstance with the replica bound forced to 1.
+func solvedInstanceK1(t testing.TB, seed int64) (*placement.Problem, *placement.Solution) {
+	t.Helper()
+	tc := topology.DefaultConfig()
+	tc.Seed = seed
+	top := topology.MustGenerate(tc)
+	wc := workload.DefaultConfig()
+	wc.Seed = seed
+	wc.NumDatasets = 10
+	wc.NumQueries = 40
+	w := workload.MustGenerate(wc, top)
+	p, err := placement.NewProblem(cluster.New(top), w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ApproG(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res.Solution
+}

@@ -1,0 +1,99 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"edgerep/internal/analytics"
+)
+
+func TestEvaluateFailsOverToAlternate(t *testing.T) {
+	c := smallCluster(t)
+	recs := testTrace(t, 600)
+	// Replicas of dataset 0 on nodes 1 and 2.
+	for _, idx := range []int{1, 2} {
+		if err := c.Place(idx, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the primary.
+	if err := c.Node(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	plan := QueryPlan{
+		HomeIndex:  3,
+		Query:      analytics.Request{Kind: analytics.DistinctUsers},
+		AltIndexes: [][]int{{2}},
+	}
+	plan.Targets = append(plan.Targets, struct {
+		Dataset   int
+		NodeIndex int
+	}{Dataset: 0, NodeIndex: 1})
+	ev, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatalf("failover did not rescue the query: %v", err)
+	}
+	if ev.Result.TotalRecords != 600 {
+		t.Fatalf("failover served %d records, want 600", ev.Result.TotalRecords)
+	}
+}
+
+func TestEvaluateWithoutAlternateFailsWhenPrimaryDown(t *testing.T) {
+	c := smallCluster(t)
+	recs := testTrace(t, 200)
+	if err := c.Place(1, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	plan := QueryPlan{HomeIndex: 3, Query: analytics.Request{Kind: analytics.DistinctUsers}}
+	plan.Targets = append(plan.Targets, struct {
+		Dataset   int
+		NodeIndex int
+	}{Dataset: 0, NodeIndex: 1})
+	if _, err := c.Evaluate(plan); err == nil || !strings.Contains(err.Error(), "replicas failed") {
+		t.Fatalf("expected replica failure, got %v", err)
+	}
+}
+
+func TestEvaluateFallsThroughMissingDataset(t *testing.T) {
+	// Primary is alive but lacks the dataset; alternate has it.
+	c := smallCluster(t)
+	recs := testTrace(t, 300)
+	if err := c.Place(2, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	plan := QueryPlan{
+		HomeIndex:  3,
+		Query:      analytics.Request{Kind: analytics.HourlyHistogram},
+		AltIndexes: [][]int{{2}},
+	}
+	plan.Targets = append(plan.Targets, struct {
+		Dataset   int
+		NodeIndex int
+	}{Dataset: 0, NodeIndex: 1}) // node 1 has nothing
+	ev, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.TotalRecords != 300 {
+		t.Fatalf("fallthrough served %d records, want 300", ev.Result.TotalRecords)
+	}
+}
+
+func TestEvaluateBadAlternateIndex(t *testing.T) {
+	c := smallCluster(t)
+	plan := QueryPlan{
+		HomeIndex:  0,
+		Query:      analytics.Request{Kind: analytics.DistinctUsers},
+		AltIndexes: [][]int{{99}},
+	}
+	plan.Targets = append(plan.Targets, struct {
+		Dataset   int
+		NodeIndex int
+	}{Dataset: 0, NodeIndex: 1})
+	if _, err := c.Evaluate(plan); err == nil {
+		t.Fatal("bad alternate index accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package testbed
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"edgerep/internal/analytics"
+	"edgerep/internal/workload"
+)
+
+// Node is one emulated VM: a TCP server storing dataset replicas and
+// answering aggregation and evaluation requests.
+type Node struct {
+	Name   string
+	Region string
+
+	lat *LatencyModel
+	ln  net.Listener
+
+	mu       sync.Mutex
+	store    map[int][]workload.UsageRecord
+	aggCalls int
+	evalCall int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// StartNode launches a node listening on 127.0.0.1:0.
+func StartNode(name, region string, lat *LatencyModel) (*Node, error) {
+	if lat == nil {
+		return nil, fmt.Errorf("testbed: nil latency model")
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("testbed: listen: %w", err)
+	}
+	n := &Node{
+		Name:   name,
+		Region: region,
+		lat:    lat,
+		ln:     ln,
+		store:  make(map[int][]workload.UsageRecord),
+		closed: make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the node's TCP address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue // transient accept error
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.handle(conn)
+		}()
+	}
+}
+
+func (n *Node) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	var req Request
+	if err := readMsg(r, &req); err != nil {
+		_ = writeMsg(conn, &Response{OK: false, Error: err.Error()})
+		return
+	}
+	resp := n.dispatch(&req)
+	// Inject the response-path latency before answering: the caller told
+	// us where it sits.
+	if req.FromRegion != "" {
+		n.lat.sleep(n.Region, req.FromRegion, messageBytes(resp))
+	}
+	_ = writeMsg(conn, resp)
+}
+
+func (n *Node) dispatch(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpStore:
+		n.mu.Lock()
+		n.store[req.Dataset] = req.Records
+		n.mu.Unlock()
+		return &Response{OK: true}
+	case OpAppend:
+		n.mu.Lock()
+		_, ok := n.store[req.Dataset]
+		if ok {
+			n.store[req.Dataset] = append(n.store[req.Dataset], req.Records...)
+		}
+		n.mu.Unlock()
+		if !ok {
+			return &Response{OK: false, Error: fmt.Sprintf("node %s: no replica of dataset %d to append to", n.Name, req.Dataset)}
+		}
+		return &Response{OK: true}
+	case OpAggregate:
+		n.mu.Lock()
+		recs, ok := n.store[req.Dataset]
+		n.aggCalls++
+		n.mu.Unlock()
+		if !ok {
+			return &Response{OK: false, Error: fmt.Sprintf("node %s: no replica of dataset %d", n.Name, req.Dataset)}
+		}
+		start := time.Now()
+		p, err := analytics.Aggregate(recs, req.Query)
+		if err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+		return &Response{OK: true, Partial: p, AggregateNanos: time.Since(start).Nanoseconds()}
+	case OpEvaluate:
+		n.mu.Lock()
+		n.evalCall++
+		n.mu.Unlock()
+		return n.evaluate(req)
+	case OpStats:
+		n.mu.Lock()
+		st := &NodeStats{
+			AggregateCalls: n.aggCalls,
+			EvaluateCalls:  n.evalCall,
+		}
+		for ds, recs := range n.store {
+			st.Datasets = append(st.Datasets, ds)
+			st.RecordsStored += len(recs)
+		}
+		n.mu.Unlock()
+		sort.Ints(st.Datasets)
+		return &Response{OK: true, Stats: st}
+	default:
+		return &Response{OK: false, Error: fmt.Sprintf("testbed: unknown op %q", req.Op)}
+	}
+}
+
+// evaluate runs a query at this (home) node: fan out to every replica in
+// parallel — the paper's model processes demanded datasets in parallel
+// (§2.3) — merge the partials, finalize.
+func (n *Node) evaluate(req *Request) *Response {
+	if len(req.Fanout) == 0 {
+		return &Response{OK: false, Error: "testbed: evaluate with empty fanout"}
+	}
+	type partialOrErr struct {
+		p   *analytics.Partial
+		err error
+	}
+	results := make(chan partialOrErr, len(req.Fanout))
+	for _, target := range req.Fanout {
+		go func(tgt FanoutTarget) {
+			sub := &Request{
+				Op:         OpAggregate,
+				Dataset:    tgt.Dataset,
+				Query:      req.Query,
+				FromRegion: n.Region,
+			}
+			// Primary first, then alternates in order: a replica that is
+			// down (dial error) or missing the dataset falls through to
+			// the next candidate.
+			candidates := append([]Endpoint{{Addr: tgt.Addr, Region: tgt.Region}}, tgt.Alternates...)
+			var lastErr error
+			for _, cand := range candidates {
+				resp, err := call(n.lat, n.Region, cand.Region, cand.Addr, sub)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if !resp.OK {
+					lastErr = fmt.Errorf("%s", resp.Error)
+					continue
+				}
+				results <- partialOrErr{p: resp.Partial}
+				return
+			}
+			results <- partialOrErr{err: fmt.Errorf("all %d replicas failed for dataset %d: %v",
+				len(candidates), tgt.Dataset, lastErr)}
+		}(target)
+	}
+	var merged *analytics.Partial
+	for range req.Fanout {
+		r := <-results
+		if r.err != nil {
+			return &Response{OK: false, Error: r.err.Error()}
+		}
+		if merged == nil {
+			merged = r.p
+		} else {
+			merged.Merge(r.p)
+		}
+	}
+	res, err := analytics.Finalize(merged, req.Query)
+	if err != nil {
+		return &Response{OK: false, Error: err.Error()}
+	}
+	return &Response{OK: true, Result: res}
+}
+
+// call dials addr, injects the request-path latency, sends the request and
+// reads the response (whose return-path latency the server injects).
+func call(lat *LatencyModel, fromRegion, toRegion, addr string, req *Request) (*Response, error) {
+	lat.sleep(fromRegion, toRegion, messageBytes(req))
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readMsg(bufio.NewReader(conn), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,158 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"edgerep/internal/workload"
+)
+
+// Syncer implements the paper's threshold-triggered consistency rule (§2.4)
+// over the real testbed: newly generated records land on the dataset's
+// origin node immediately; once the accumulated new volume reaches the
+// configured ratio of the original volume, the buffered records are pushed
+// to every other replica over the wire and the replicas are consistent
+// again.
+type Syncer struct {
+	c         *Cluster
+	threshold float64
+	datasets  map[int]*syncedDataset
+}
+
+type syncedDataset struct {
+	origin       int // node index
+	replicas     []int
+	originalRecs int
+	pending      []workload.UsageRecord
+	synced       int
+}
+
+// SyncResult reports one propagation.
+type SyncResult struct {
+	Dataset   int
+	Records   int
+	Replicas  int
+	WallClock time.Duration
+}
+
+// NewSyncer registers datasets for consistency management. Each dataset is
+// stored in full on its origin node and on each listed replica node before
+// the syncer is used (the caller places them, typically via Cluster.Place).
+func NewSyncer(c *Cluster, threshold float64) (*Syncer, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("testbed: sync threshold %v outside (0,1]", threshold)
+	}
+	return &Syncer{c: c, threshold: threshold, datasets: make(map[int]*syncedDataset)}, nil
+}
+
+// Register tracks a dataset: its origin node index, the other replica node
+// indexes, and the original record count the dirty ratio is measured
+// against.
+func (s *Syncer) Register(dataset, origin int, replicas []int, originalRecs int) error {
+	if origin < 0 || origin >= s.c.NumNodes() {
+		return fmt.Errorf("testbed: origin index %d out of range", origin)
+	}
+	for _, r := range replicas {
+		if r < 0 || r >= s.c.NumNodes() {
+			return fmt.Errorf("testbed: replica index %d out of range", r)
+		}
+	}
+	if originalRecs < 1 {
+		return fmt.Errorf("testbed: dataset %d registered with %d original records", dataset, originalRecs)
+	}
+	if _, dup := s.datasets[dataset]; dup {
+		return fmt.Errorf("testbed: dataset %d already registered", dataset)
+	}
+	s.datasets[dataset] = &syncedDataset{
+		origin:       origin,
+		replicas:     append([]int(nil), replicas...),
+		originalRecs: originalRecs,
+	}
+	return nil
+}
+
+// DirtyRatio returns new records / original records for a dataset.
+func (s *Syncer) DirtyRatio(dataset int) float64 {
+	sd := s.datasets[dataset]
+	if sd == nil || sd.originalRecs == 0 {
+		return 0
+	}
+	return float64(len(sd.pending)) / float64(sd.originalRecs)
+}
+
+// SyncedRecords returns how many records have been propagated for a dataset.
+func (s *Syncer) SyncedRecords(dataset int) int {
+	if sd := s.datasets[dataset]; sd != nil {
+		return sd.synced
+	}
+	return 0
+}
+
+// Append sends new records to the dataset's origin node immediately and, if
+// the dirty ratio reaches the threshold, propagates the buffered records to
+// every replica. Returns the sync result when a propagation fired.
+func (s *Syncer) Append(dataset int, recs []workload.UsageRecord) (*SyncResult, error) {
+	sd := s.datasets[dataset]
+	if sd == nil {
+		return nil, fmt.Errorf("testbed: dataset %d not registered", dataset)
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	// Origin gets fresh data right away.
+	if err := s.append(sd.origin, dataset, recs); err != nil {
+		return nil, err
+	}
+	sd.pending = append(sd.pending, recs...)
+	if s.DirtyRatio(dataset) < s.threshold {
+		return nil, nil
+	}
+	return s.flush(dataset, sd)
+}
+
+// Flush forces propagation regardless of the threshold.
+func (s *Syncer) Flush(dataset int) (*SyncResult, error) {
+	sd := s.datasets[dataset]
+	if sd == nil {
+		return nil, fmt.Errorf("testbed: dataset %d not registered", dataset)
+	}
+	if len(sd.pending) == 0 {
+		return nil, nil
+	}
+	return s.flush(dataset, sd)
+}
+
+func (s *Syncer) flush(dataset int, sd *syncedDataset) (*SyncResult, error) {
+	start := time.Now()
+	for _, r := range sd.replicas {
+		if r == sd.origin {
+			continue
+		}
+		if err := s.append(r, dataset, sd.pending); err != nil {
+			return nil, err
+		}
+	}
+	res := &SyncResult{
+		Dataset:   dataset,
+		Records:   len(sd.pending),
+		Replicas:  len(sd.replicas),
+		WallClock: time.Since(start),
+	}
+	sd.synced += len(sd.pending)
+	sd.originalRecs += len(sd.pending)
+	sd.pending = nil
+	return res, nil
+}
+
+func (s *Syncer) append(nodeIdx, dataset int, recs []workload.UsageRecord) error {
+	n := s.c.Nodes[nodeIdx]
+	req := &Request{Op: OpAppend, Dataset: dataset, Records: recs, FromRegion: s.c.ControllerRegion}
+	resp, err := call(s.c.lat, s.c.ControllerRegion, n.Region, n.Addr(), req)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("testbed: append to %s: %s", n.Name, resp.Error)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package testbed
+
+import (
+	"testing"
+
+	"edgerep/internal/analytics"
+	"edgerep/internal/workload"
+)
+
+func TestSyncerThresholdPropagation(t *testing.T) {
+	c := smallCluster(t)
+	recs := testTrace(t, 1000)
+	// Dataset 0: origin node 1, replica on node 2.
+	for _, idx := range []int{1, 2} {
+		if err := c.Place(idx, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSyncer(c, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(0, 1, []int{1, 2}, len(recs)); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testTrace(t, 1050)[1000:] // 50 new records = 5% < threshold
+	res, err := s.Append(0, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("sync fired below threshold")
+	}
+	// Origin already has the new data; the replica does not.
+	stOrigin, err := c.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stReplica, err := c.Stats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOrigin.RecordsStored != 1050 {
+		t.Fatalf("origin holds %d records, want 1050", stOrigin.RecordsStored)
+	}
+	if stReplica.RecordsStored != 1000 {
+		t.Fatalf("replica holds %d records before sync, want 1000", stReplica.RecordsStored)
+	}
+
+	// Another 7% crosses the 10% threshold → propagation.
+	fresh2 := testTrace(t, 1120)[1050:]
+	res, err = s.Append(0, fresh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("sync did not fire at threshold")
+	}
+	if res.Records != 120 {
+		t.Fatalf("sync pushed %d records, want the accumulated 120", res.Records)
+	}
+	stReplica, err = c.Stats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stReplica.RecordsStored != 1120 {
+		t.Fatalf("replica holds %d records after sync, want 1120", stReplica.RecordsStored)
+	}
+	if s.DirtyRatio(0) != 0 {
+		t.Fatalf("dirty ratio %v after sync", s.DirtyRatio(0))
+	}
+	if s.SyncedRecords(0) != 120 {
+		t.Fatalf("synced records %d, want 120", s.SyncedRecords(0))
+	}
+}
+
+func TestSyncerQueriesSeeFreshDataAfterSync(t *testing.T) {
+	c := smallCluster(t)
+	recs := testTrace(t, 500)
+	for _, idx := range []int{0, 3} {
+		if err := c.Place(idx, 7, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSyncer(c, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(7, 0, []int{0, 3}, len(recs)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testTrace(t, 600)[500:]
+	if _, err := s.Append(7, fresh); err != nil {
+		t.Fatal(err)
+	}
+	// Query the non-origin replica: it must see all 600 records.
+	plan := QueryPlan{HomeIndex: 4, Query: analytics.Request{Kind: analytics.HourlyHistogram}}
+	plan.Targets = append(plan.Targets, struct {
+		Dataset   int
+		NodeIndex int
+	}{Dataset: 7, NodeIndex: 3})
+	ev, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.TotalRecords != 600 {
+		t.Fatalf("replica served %d records, want 600 after sync", ev.Result.TotalRecords)
+	}
+}
+
+func TestSyncerFlush(t *testing.T) {
+	c := smallCluster(t)
+	recs := testTrace(t, 300)
+	for _, idx := range []int{1, 2} {
+		if err := c.Place(idx, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSyncer(c, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(0, 1, []int{1, 2}, len(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.Flush(0); err != nil || res != nil {
+		t.Fatalf("flush on clean dataset: %v %v", res, err)
+	}
+	fresh := testTrace(t, 310)[300:]
+	if _, err := s.Append(0, fresh); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Flush(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Records != 10 {
+		t.Fatalf("flush result %+v, want 10 records", res)
+	}
+}
+
+func TestSyncerValidation(t *testing.T) {
+	c := smallCluster(t)
+	if _, err := NewSyncer(c, 0); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := NewSyncer(c, 1.5); err == nil {
+		t.Fatal("threshold 1.5 accepted")
+	}
+	s, err := NewSyncer(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(0, 99, nil, 10); err == nil {
+		t.Fatal("bad origin accepted")
+	}
+	if err := s.Register(0, 0, []int{99}, 10); err == nil {
+		t.Fatal("bad replica accepted")
+	}
+	if err := s.Register(0, 0, nil, 0); err == nil {
+		t.Fatal("zero original records accepted")
+	}
+	if err := s.Register(1, 0, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(1, 0, nil, 10); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := s.Append(42, []workload.UsageRecord{{}}); err == nil {
+		t.Fatal("append to unregistered dataset accepted")
+	}
+	if res, err := s.Append(1, nil); err != nil || res != nil {
+		t.Fatalf("empty append: %v %v", res, err)
+	}
+	if _, err := s.Flush(42); err == nil {
+		t.Fatal("flush of unregistered dataset accepted")
+	}
+}
+
+func TestAppendToMissingReplicaFails(t *testing.T) {
+	c := smallCluster(t)
+	s, err := NewSyncer(c, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register without placing the dataset: the node-side append must
+	// refuse (no replica to append to) and the error must surface.
+	if err := s.Register(0, 1, []int{1, 2}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(0, testTrace(t, 10)); err == nil {
+		t.Fatal("append to absent replica succeeded")
+	}
+}

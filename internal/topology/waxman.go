@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgerep/internal/graph"
+)
+
+// WaxmanConfig parameterizes the classic Waxman random-graph model that
+// GT-ITM implements for flat topologies: nodes are scattered uniformly on a
+// unit square and each pair (u,v) is linked with probability
+// α·exp(−d(u,v)/(β·L)), where L is the maximum possible distance.
+// The paper cites GT-ITM [8] for topology generation; the iid-probability
+// model used in its experiments is the special case β→∞, α=p. The Waxman
+// generator is provided for locality-sensitive ablations.
+type WaxmanConfig struct {
+	Nodes int
+	Alpha float64
+	Beta  float64
+	// DelayPerUnitDistance converts the planar distance of a created link
+	// into its per-GB transmission delay.
+	DelayPerUnitDistance float64
+	Seed                 int64
+}
+
+// Validate reports the first configuration error, or nil.
+func (c WaxmanConfig) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("topology: waxman needs ≥2 nodes, got %d", c.Nodes)
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("topology: waxman alpha %v outside (0,1]", c.Alpha)
+	case c.Beta <= 0:
+		return fmt.Errorf("topology: waxman beta %v must be positive", c.Beta)
+	case c.DelayPerUnitDistance <= 0:
+		return fmt.Errorf("topology: waxman delay scale %v must be positive", c.DelayPerUnitDistance)
+	}
+	return nil
+}
+
+// Waxman generates a connected Waxman random graph plus the node coordinates
+// it was built from.
+func Waxman(c WaxmanConfig) (*graph.Graph, [][2]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	pts := make([][2]float64, c.Nodes)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	g := graph.New(c.Nodes)
+	maxDist := math.Sqrt2 // diagonal of the unit square
+	for u := 0; u < c.Nodes; u++ {
+		for v := u + 1; v < c.Nodes; v++ {
+			d := planarDist(pts[u], pts[v])
+			p := c.Alpha * math.Exp(-d/(c.Beta*maxDist))
+			if rng.Float64() < p {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), d*c.DelayPerUnitDistance)
+			}
+		}
+	}
+	g.Connect(maxDist * c.DelayPerUnitDistance)
+	return g, pts, nil
+}
+
+func planarDist(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return math.Sqrt(dx*dx + dy*dy)
+}

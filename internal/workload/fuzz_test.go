@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace checks that arbitrary input never panics the loader and
+// that whatever loads successfully round-trips through SaveTrace.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add(`{"user":1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":60}`)
+	f.Add(`{"user":1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":60}` + "\n" +
+		`{"user":3,"app":0,"start":"2019-01-01T00:00:00Z","duration_s":5}`)
+	f.Add("")
+	f.Add("not json at all")
+	f.Add(`{"user":-1}`)
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := LoadTrace(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Loaded traces must be valid and serializable.
+		for _, r := range recs {
+			if r.UserID < 0 || r.AppID < 0 || r.DurationS < 0 || r.Start.IsZero() {
+				t.Fatalf("loader accepted invalid record %+v", r)
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveTrace(&buf, recs); err != nil {
+			t.Fatalf("cannot save loaded trace: %v", err)
+		}
+		again, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("cannot reload saved trace: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(again), len(recs))
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the workload as indented JSON: the interchange format between
+// edgerepgen (writer) and edgerepplace (reader).
+func (w *Workload) Save(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
+
+// LoadWorkload reads a workload written by Save (or hand-authored in the
+// same schema) and validates its internal references.
+func LoadWorkload(r io.Reader) (*Workload, error) {
+	var w Workload
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if len(w.Datasets) == 0 {
+		return nil, fmt.Errorf("workload: no datasets")
+	}
+	for i, d := range w.Datasets {
+		if int(d.ID) != i {
+			return nil, fmt.Errorf("workload: dataset IDs must be dense and ordered; got %d at %d", d.ID, i)
+		}
+		if d.SizeGB <= 0 {
+			return nil, fmt.Errorf("workload: dataset %d has size %v", i, d.SizeGB)
+		}
+		if d.Origin < 0 {
+			return nil, fmt.Errorf("workload: dataset %d has negative origin", i)
+		}
+	}
+	for i, q := range w.Queries {
+		if int(q.ID) != i {
+			return nil, fmt.Errorf("workload: query IDs must be dense and ordered; got %d at %d", q.ID, i)
+		}
+		if len(q.Demands) == 0 {
+			return nil, fmt.Errorf("workload: query %d demands nothing", i)
+		}
+		if q.DeadlineSec <= 0 || q.ComputePerGB <= 0 {
+			return nil, fmt.Errorf("workload: query %d has deadline %v, compute %v", i, q.DeadlineSec, q.ComputePerGB)
+		}
+		seen := map[DatasetID]bool{}
+		for _, dm := range q.Demands {
+			if int(dm.Dataset) < 0 || int(dm.Dataset) >= len(w.Datasets) {
+				return nil, fmt.Errorf("workload: query %d references unknown dataset %d", i, dm.Dataset)
+			}
+			if dm.Selectivity <= 0 || dm.Selectivity > 1 {
+				return nil, fmt.Errorf("workload: query %d selectivity %v outside (0,1]", i, dm.Selectivity)
+			}
+			if seen[dm.Dataset] {
+				return nil, fmt.Errorf("workload: query %d demands dataset %d twice", i, dm.Dataset)
+			}
+			seen[dm.Dataset] = true
+		}
+	}
+	return &w, nil
+}

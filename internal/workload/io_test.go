@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edgerep/internal/topology"
+)
+
+func TestWorkloadSaveLoadRoundTrip(t *testing.T) {
+	top := topology.MustGenerate(topology.DefaultConfig())
+	c := DefaultConfig()
+	c.NumDatasets = 8
+	c.NumQueries = 20
+	w := MustGenerate(c, top)
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Datasets) != len(w.Datasets) || len(got.Queries) != len(w.Queries) {
+		t.Fatal("round trip changed cardinalities")
+	}
+	if got.TotalDemandedVolume() != w.TotalDemandedVolume() {
+		t.Fatal("round trip changed total volume")
+	}
+	for i := range w.Queries {
+		if got.Queries[i].DeadlineSec != w.Queries[i].DeadlineSec ||
+			got.Queries[i].Home != w.Queries[i].Home {
+			t.Fatalf("query %d changed", i)
+		}
+	}
+}
+
+func TestLoadWorkloadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"no-datasets":  `{"Datasets":[],"Queries":[]}`,
+		"sparse-ds":    `{"Datasets":[{"ID":3,"SizeGB":1}]}`,
+		"zero-size":    `{"Datasets":[{"ID":0,"SizeGB":0}]}`,
+		"neg-origin":   `{"Datasets":[{"ID":0,"SizeGB":1,"Origin":-1}]}`,
+		"empty-query":  `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":0,"Demands":[],"ComputePerGB":1,"DeadlineSec":1}]}`,
+		"bad-deadline": `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":0,"Demands":[{"Dataset":0,"Selectivity":0.5}],"ComputePerGB":1,"DeadlineSec":0}]}`,
+		"dangling":     `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":0,"Demands":[{"Dataset":9,"Selectivity":0.5}],"ComputePerGB":1,"DeadlineSec":1}]}`,
+		"bad-alpha":    `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":0,"Demands":[{"Dataset":0,"Selectivity":2}],"ComputePerGB":1,"DeadlineSec":1}]}`,
+		"dup-demand":   `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":0,"Demands":[{"Dataset":0,"Selectivity":0.5},{"Dataset":0,"Selectivity":0.6}],"ComputePerGB":1,"DeadlineSec":1}]}`,
+		"sparse-query": `{"Datasets":[{"ID":0,"SizeGB":1}],"Queries":[{"ID":4,"Demands":[{"Dataset":0,"Selectivity":0.5}],"ComputePerGB":1,"DeadlineSec":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

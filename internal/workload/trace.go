@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// UsageRecord is one mobile-app usage event. The paper's testbed (§4.3) uses
+// a proprietary trace of app usage from 3 million anonymous users over three
+// months; this package generates a synthetic equivalent whose distributional
+// properties — Zipf app popularity, diurnal activity, power-law per-user
+// activity — are the only ones the paper's analytics queries depend on.
+type UsageRecord struct {
+	UserID    int64     `json:"user"`
+	AppID     int       `json:"app"`
+	Start     time.Time `json:"start"`
+	DurationS int       `json:"duration_s"`
+}
+
+// TraceConfig controls synthetic trace generation.
+type TraceConfig struct {
+	Users   int
+	Apps    int
+	Records int
+	// ZipfS is the Zipf exponent of app popularity (>1).
+	ZipfS float64
+	// Start and Days bound the time window; the paper's trace covers
+	// three months.
+	Start time.Time
+	Days  int
+	Seed  int64
+}
+
+// DefaultTraceConfig returns a laptop-scale stand-in for the paper's trace:
+// same shape, smaller volume (documented substitution, DESIGN.md §4).
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Users:   3000,
+		Apps:    200,
+		Records: 60000,
+		ZipfS:   1.2,
+		Start:   time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days:    90,
+		Seed:    1,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c TraceConfig) Validate() error {
+	switch {
+	case c.Users < 1 || c.Apps < 1 || c.Records < 1:
+		return fmt.Errorf("workload: trace needs ≥1 users, apps, records")
+	case c.ZipfS <= 1:
+		return fmt.Errorf("workload: zipf exponent %v must exceed 1", c.ZipfS)
+	case c.Days < 1:
+		return fmt.Errorf("workload: trace window %d days < 1", c.Days)
+	}
+	return nil
+}
+
+// diurnalHourWeights approximates human activity: low at night, peaks at
+// midday and evening.
+var diurnalHourWeights = [24]float64{
+	1, 0.5, 0.3, 0.2, 0.2, 0.4, 1, 2.5, 4, 5, 5.5, 6,
+	6.5, 6, 5.5, 5, 5.5, 6.5, 7.5, 8, 7, 5.5, 3.5, 2,
+}
+
+// GenerateTrace produces a deterministic synthetic usage trace sorted by
+// start time.
+func GenerateTrace(c TraceConfig) ([]UsageRecord, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	appZipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Apps-1))
+	// Per-user activity is power-law-ish: squaring a uniform sample skews
+	// mass toward a minority of heavy users.
+	userWeight := make([]float64, c.Users)
+	totalW := 0.0
+	for i := range userWeight {
+		w := rng.Float64()
+		userWeight[i] = w * w
+		totalW += userWeight[i]
+	}
+	userCDF := make([]float64, c.Users)
+	acc := 0.0
+	for i, w := range userWeight {
+		acc += w / totalW
+		userCDF[i] = acc
+	}
+	pickUser := func() int64 {
+		x := rng.Float64()
+		lo, hi := 0, c.Users-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if userCDF[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int64(lo)
+	}
+	var hourCDF [24]float64
+	hourTotal := 0.0
+	for _, w := range diurnalHourWeights {
+		hourTotal += w
+	}
+	accH := 0.0
+	for i, w := range diurnalHourWeights {
+		accH += w / hourTotal
+		hourCDF[i] = accH
+	}
+	pickHour := func() int {
+		x := rng.Float64()
+		for h, cdf := range hourCDF {
+			if x <= cdf {
+				return h
+			}
+		}
+		return 23
+	}
+
+	recs := make([]UsageRecord, c.Records)
+	for i := range recs {
+		day := rng.Intn(c.Days)
+		hour := pickHour()
+		minute := rng.Intn(60)
+		second := rng.Intn(60)
+		start := c.Start.Add(time.Duration(day)*24*time.Hour +
+			time.Duration(hour)*time.Hour +
+			time.Duration(minute)*time.Minute +
+			time.Duration(second)*time.Second)
+		// Session lengths: log-normal-ish via exp of a normal sample,
+		// clamped to [5s, 2h].
+		dur := int(math.Exp(rng.NormFloat64()*1.1 + 4.5))
+		if dur < 5 {
+			dur = 5
+		}
+		if dur > 7200 {
+			dur = 7200
+		}
+		recs[i] = UsageRecord{
+			UserID:    pickUser(),
+			AppID:     int(appZipf.Uint64()),
+			Start:     start,
+			DurationS: dur,
+		}
+	}
+	sortRecordsByStart(recs)
+	return recs, nil
+}
+
+func sortRecordsByStart(recs []UsageRecord) {
+	// Insertion of time.Time into sort.Slice via closure; kept local to
+	// avoid exporting ordering details.
+	sortSlice(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+}
+
+// sortSlice is a tiny wrapper so the generator has no direct sort import
+// spread across call sites.
+func sortSlice(recs []UsageRecord, less func(i, j int) bool) {
+	// simple heap sort to avoid pulling in reflect-heavy helpers — records
+	// counts are modest and this keeps allocation at zero.
+	n := len(recs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(recs, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		recs[0], recs[end] = recs[end], recs[0]
+		siftDown(recs, 0, end, less)
+	}
+}
+
+func siftDown(recs []UsageRecord, root, end int, less func(i, j int) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(child, child+1) {
+			child++
+		}
+		if !less(root, child) {
+			return
+		}
+		recs[root], recs[child] = recs[child], recs[root]
+		root = child
+	}
+}
+
+// PartitionTrace splits a trace into n datasets by record creation time, the
+// paper's partitioning rule for the testbed: "We divide the data into a
+// number of datasets according to the data creation time" (§4.3). Every
+// partition is non-empty as long as len(recs) ≥ n.
+func PartitionTrace(recs []UsageRecord, n int) ([][]UsageRecord, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: cannot partition into %d datasets", n)
+	}
+	if len(recs) < n {
+		return nil, fmt.Errorf("workload: %d records cannot fill %d datasets", len(recs), n)
+	}
+	out := make([][]UsageRecord, n)
+	per := len(recs) / n
+	rem := len(recs) % n
+	idx := 0
+	for i := 0; i < n; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		out[i] = recs[idx : idx+size]
+		idx += size
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateTraceBasics(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 5000
+	recs, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5000 {
+		t.Fatalf("got %d records, want 5000", len(recs))
+	}
+	end := c.Start.Add(time.Duration(c.Days) * 24 * time.Hour)
+	for i, r := range recs {
+		if r.UserID < 0 || r.UserID >= int64(c.Users) {
+			t.Fatalf("record %d user %d outside [0,%d)", i, r.UserID, c.Users)
+		}
+		if r.AppID < 0 || r.AppID >= c.Apps {
+			t.Fatalf("record %d app %d outside [0,%d)", i, r.AppID, c.Apps)
+		}
+		if r.Start.Before(c.Start) || !r.Start.Before(end) {
+			t.Fatalf("record %d start %v outside window", i, r.Start)
+		}
+		if r.DurationS < 5 || r.DurationS > 7200 {
+			t.Fatalf("record %d duration %d outside [5,7200]", i, r.DurationS)
+		}
+		if i > 0 && recs[i].Start.Before(recs[i-1].Start) {
+			t.Fatalf("records not sorted by start at %d", i)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 2000
+	a, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateTracePopularitySkewed(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 20000
+	recs, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, c.Apps)
+	for _, r := range recs {
+		counts[r.AppID]++
+	}
+	top, total := 0, 0
+	for app, n := range counts {
+		total += n
+		if app < 10 {
+			top += n
+		}
+	}
+	// Zipf(1.2): the ten most popular app IDs must carry a clear majority.
+	if float64(top)/float64(total) < 0.5 {
+		t.Fatalf("top-10 apps carry only %.1f%% of events — popularity not Zipf-like",
+			100*float64(top)/float64(total))
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Users: 0, Apps: 1, Records: 1, ZipfS: 1.2, Days: 1},
+		{Users: 1, Apps: 0, Records: 1, ZipfS: 1.2, Days: 1},
+		{Users: 1, Apps: 1, Records: 0, ZipfS: 1.2, Days: 1},
+		{Users: 1, Apps: 1, Records: 1, ZipfS: 1.0, Days: 1},
+		{Users: 1, Apps: 1, Records: 1, ZipfS: 1.2, Days: 0},
+	}
+	for i, c := range bad {
+		if _, err := GenerateTrace(c); err == nil {
+			t.Fatalf("bad trace config %d accepted", i)
+		}
+	}
+}
+
+func TestPartitionTrace(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 1003
+	recs, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartitionTrace(recs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 10 {
+		t.Fatalf("got %d partitions, want 10", len(parts))
+	}
+	total := 0
+	for i, p := range parts {
+		if len(p) == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+		total += len(p)
+		// Time-ordered partitioning: every record in partition i starts
+		// no later than every record in partition i+1.
+		if i > 0 {
+			prev := parts[i-1]
+			if p[0].Start.Before(prev[len(prev)-1].Start) {
+				t.Fatalf("partition %d not time-ordered after %d", i, i-1)
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("partitions cover %d records, want %d", total, len(recs))
+	}
+}
+
+func TestPartitionTraceErrors(t *testing.T) {
+	recs := make([]UsageRecord, 3)
+	if _, err := PartitionTrace(recs, 0); err == nil {
+		t.Fatal("partition into 0 accepted")
+	}
+	if _, err := PartitionTrace(recs, 4); err == nil {
+		t.Fatal("partitioning 3 records into 4 accepted")
+	}
+}
+
+// Property: partitioning preserves record multiset sizes for any count.
+func TestPartitionSizesProperty(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 500
+	recs, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		parts, err := PartitionTrace(recs, n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		// Balanced: sizes differ by at most one.
+		min, max := len(parts[0]), len(parts[0])
+		for _, p := range parts {
+			if len(p) < min {
+				min = len(p)
+			}
+			if len(p) > max {
+				max = len(p)
+			}
+		}
+		return total == len(recs) && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateTrace(b *testing.B) {
+	c := DefaultTraceConfig()
+	c.Records = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

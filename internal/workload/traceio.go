@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SaveTrace writes records as JSON Lines (one record per line), the
+// interchange format used to plug a real usage trace — like the paper's
+// proprietary 3M-user dataset — into the testbed experiments in place of the
+// synthetic generator.
+func SaveTrace(w io.Writer, recs []UsageRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("workload: save record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a JSON Lines trace written by SaveTrace (or produced by
+// any external tool emitting the same schema). Records are validated and
+// returned sorted by start time. Blank lines are skipped.
+func LoadTrace(r io.Reader) ([]UsageRecord, error) {
+	var recs []UsageRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec UsageRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if err := validateRecord(rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: trace is empty")
+	}
+	sortRecordsByStart(recs)
+	return recs, nil
+}
+
+func validateRecord(rec UsageRecord) error {
+	switch {
+	case rec.UserID < 0:
+		return fmt.Errorf("negative user id %d", rec.UserID)
+	case rec.AppID < 0:
+		return fmt.Errorf("negative app id %d", rec.AppID)
+	case rec.Start.IsZero():
+		return fmt.Errorf("missing start time")
+	case rec.DurationS < 0:
+		return fmt.Errorf("negative duration %d", rec.DurationS)
+	}
+	return nil
+}
+
+// TraceStats summarizes a trace for inspection and experiment reports.
+type TraceStats struct {
+	Records       int
+	DistinctUsers int
+	DistinctApps  int
+	Start, End    time.Time
+	TotalHours    float64
+}
+
+// Summarize computes TraceStats over records.
+func Summarize(recs []UsageRecord) TraceStats {
+	st := TraceStats{Records: len(recs)}
+	if len(recs) == 0 {
+		return st
+	}
+	users := make(map[int64]bool)
+	apps := make(map[int]bool)
+	st.Start, st.End = recs[0].Start, recs[0].Start
+	var secs int64
+	for _, r := range recs {
+		users[r.UserID] = true
+		apps[r.AppID] = true
+		if r.Start.Before(st.Start) {
+			st.Start = r.Start
+		}
+		if r.Start.After(st.End) {
+			st.End = r.Start
+		}
+		secs += int64(r.DurationS)
+	}
+	st.DistinctUsers = len(users)
+	st.DistinctApps = len(apps)
+	st.TotalHours = float64(secs) / 3600
+	return st
+}

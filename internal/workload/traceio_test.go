@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := DefaultTraceConfig()
+	c.Records = 800
+	recs, err := GenerateTrace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].UserID != recs[i].UserID || got[i].AppID != recs[i].AppID ||
+			!got[i].Start.Equal(recs[i].Start) || got[i].DurationS != recs[i].DurationS {
+			t.Fatalf("record %d mutated: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestLoadTraceSortsUnorderedInput(t *testing.T) {
+	later := `{"user":1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":60}`
+	earlier := `{"user":2,"app":3,"start":"2019-01-01T10:00:00Z","duration_s":30}`
+	recs, err := LoadTrace(strings.NewReader(later + "\n" + earlier + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs[0].Start.Before(recs[1].Start) {
+		t.Fatalf("trace not sorted: %v then %v", recs[0].Start, recs[1].Start)
+	}
+}
+
+func TestLoadTraceSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"user":1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":60}` + "\n\n"
+	recs, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":           "not-json\n",
+		"negative-user":     `{"user":-1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":60}`,
+		"negative-app":      `{"user":1,"app":-2,"start":"2019-03-01T10:00:00Z","duration_s":60}`,
+		"missing-start":     `{"user":1,"app":2,"duration_s":60}`,
+		"negative-duration": `{"user":1,"app":2,"start":"2019-03-01T10:00:00Z","duration_s":-5}`,
+		"empty":             "",
+	}
+	for name, in := range cases {
+		if _, err := LoadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	base := time.Date(2019, 2, 1, 8, 0, 0, 0, time.UTC)
+	recs := []UsageRecord{
+		{UserID: 1, AppID: 10, Start: base, DurationS: 3600},
+		{UserID: 2, AppID: 10, Start: base.Add(time.Hour), DurationS: 1800},
+		{UserID: 1, AppID: 11, Start: base.Add(2 * time.Hour), DurationS: 1800},
+	}
+	st := Summarize(recs)
+	if st.Records != 3 || st.DistinctUsers != 2 || st.DistinctApps != 2 {
+		t.Fatalf("bad stats %+v", st)
+	}
+	if !st.Start.Equal(base) || !st.End.Equal(base.Add(2*time.Hour)) {
+		t.Fatalf("bad window %v..%v", st.Start, st.End)
+	}
+	if st.TotalHours != 2 {
+		t.Fatalf("total hours %v, want 2", st.TotalHours)
+	}
+	if empty := Summarize(nil); empty.Records != 0 {
+		t.Fatal("Summarize(nil) non-zero")
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload generates the problem inputs of the paper: datasets
+// produced by services at data centers and cloudlets, and big-data-analytic
+// queries with QoS (deadline) requirements. Parameter ranges follow §4.1 of
+// the paper; all generation is deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/topology"
+)
+
+// DatasetID identifies a dataset; dense 0..|S|-1.
+type DatasetID int
+
+// QueryID identifies a query; dense 0..|Q|-1.
+type QueryID int
+
+// Dataset is one dataset S_n of the collection S.
+type Dataset struct {
+	ID DatasetID
+	// SizeGB is |S_n|, the dataset volume.
+	SizeGB float64
+	// Origin is the node where the dataset was generated; replicas are
+	// proactively copied from here.
+	Origin graph.NodeID
+}
+
+// Demand is one dataset demanded by a query together with the query-specific
+// selectivity α_nm: the intermediate result produced from dataset n for this
+// query has size α_nm·|S_n|.
+type Demand struct {
+	Dataset     DatasetID
+	Selectivity float64
+}
+
+// Query is one big-data-analytics query q_m.
+type Query struct {
+	ID QueryID
+	// Home is h_m, the node where intermediate results are aggregated.
+	Home graph.NodeID
+	// Demands lists the datasets S(q_m) with their selectivities.
+	Demands []Demand
+	// ComputePerGB is r_m in GHz allocated per GB processed.
+	ComputePerGB float64
+	// DeadlineSec is d_qm, the QoS delay requirement.
+	DeadlineSec float64
+}
+
+// DemandedVolume returns Σ_{n∈S(q)} |S_n| given the dataset collection: the
+// query's contribution to the paper's objective when admitted.
+func (q *Query) DemandedVolume(datasets []Dataset) float64 {
+	v := 0.0
+	for _, d := range q.Demands {
+		v += datasets[d.Dataset].SizeGB
+	}
+	return v
+}
+
+// Workload bundles the generated datasets and queries.
+type Workload struct {
+	Datasets []Dataset
+	Queries  []Query
+}
+
+// TotalDemandedVolume returns the objective value of admitting every query.
+func (w *Workload) TotalDemandedVolume() float64 {
+	v := 0.0
+	for i := range w.Queries {
+		v += w.Queries[i].DemandedVolume(w.Datasets)
+	}
+	return v
+}
+
+// Config controls workload generation; defaults mirror the paper (§4.1).
+type Config struct {
+	// NumDatasets in [5,20] in the paper. Zero means draw from that range.
+	NumDatasets int
+	// NumQueries in [10,100] in the paper. Zero means draw from the range.
+	NumQueries int
+	// MaxDatasetsPerQuery is F; each query demands [1,F] datasets.
+	// The paper draws F from [1,7].
+	MaxDatasetsPerQuery int
+	// SizeMinGB/SizeMaxGB bound dataset sizes; [1,6] GB in the paper.
+	SizeMinGB, SizeMaxGB float64
+	// ComputeMin/MaxPerGB bound r_m; [0.75,1.25] GHz/GB in the paper.
+	ComputeMinPerGB, ComputeMaxPerGB float64
+	// SelectivityMin/Max bound α_nm ∈ (0,1].
+	SelectivityMin, SelectivityMax float64
+	// DeadlinePerGB makes d_qm proportional to the size of the largest
+	// demanded dataset: "the QoS ... of each query depends on the size of
+	// dataset demanded by the query" (§4.1). The delay of a query is the
+	// maximum over its demanded datasets (§2.3), so the largest dataset
+	// sets the critical path. DeadlineSlack adds headroom variability;
+	// with the defaults a substantial fraction of (query, node) pairs are
+	// infeasible, which is the regime where the paper's algorithms
+	// separate (its throughput plots sit well below 100%).
+	DeadlinePerGB                      float64
+	DeadlineSlackMin, DeadlineSlackMax float64
+	Seed                               int64
+}
+
+// DefaultConfig returns the paper's workload settings.
+func DefaultConfig() Config {
+	return Config{
+		NumDatasets:         0, // draw from [5,20]
+		NumQueries:          0, // draw from [10,100]
+		MaxDatasetsPerQuery: 7,
+		SizeMinGB:           1,
+		SizeMaxGB:           6,
+		ComputeMinPerGB:     0.75,
+		ComputeMaxPerGB:     1.25,
+		SelectivityMin:      0.05,
+		SelectivityMax:      1.0,
+		DeadlinePerGB:       1.0,
+		DeadlineSlackMin:    0.4,
+		DeadlineSlackMax:    1.2,
+		Seed:                1,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.NumDatasets < 0 || c.NumQueries < 0:
+		return fmt.Errorf("workload: negative dataset/query count")
+	case c.MaxDatasetsPerQuery < 1:
+		return fmt.Errorf("workload: MaxDatasetsPerQuery %d < 1", c.MaxDatasetsPerQuery)
+	case c.SizeMinGB <= 0 || c.SizeMaxGB < c.SizeMinGB:
+		return fmt.Errorf("workload: bad size range [%v,%v]", c.SizeMinGB, c.SizeMaxGB)
+	case c.ComputeMinPerGB <= 0 || c.ComputeMaxPerGB < c.ComputeMinPerGB:
+		return fmt.Errorf("workload: bad compute range [%v,%v]", c.ComputeMinPerGB, c.ComputeMaxPerGB)
+	case c.SelectivityMin <= 0 || c.SelectivityMax > 1 || c.SelectivityMax < c.SelectivityMin:
+		return fmt.Errorf("workload: bad selectivity range (%v,%v]", c.SelectivityMin, c.SelectivityMax)
+	case c.DeadlinePerGB <= 0:
+		return fmt.Errorf("workload: non-positive deadline scale %v", c.DeadlinePerGB)
+	case c.DeadlineSlackMin <= 0 || c.DeadlineSlackMax < c.DeadlineSlackMin:
+		return fmt.Errorf("workload: bad deadline slack range [%v,%v]", c.DeadlineSlackMin, c.DeadlineSlackMax)
+	}
+	return nil
+}
+
+// Generate draws a workload against the given topology. Dataset origins are
+// uniform over compute nodes (services run at data centers and cloudlets,
+// §2.2); query homes are uniform over compute nodes as well, since users
+// reach the system through base stations attached to cloudlets.
+func Generate(c Config, top *topology.Topology) (*Workload, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if top.NumCompute() == 0 {
+		return nil, fmt.Errorf("workload: topology has no compute nodes")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	nd := c.NumDatasets
+	if nd == 0 {
+		nd = 5 + rng.Intn(16) // [5,20] per the paper
+	}
+	nq := c.NumQueries
+	if nq == 0 {
+		nq = 10 + rng.Intn(91) // [10,100] per the paper
+	}
+
+	w := &Workload{
+		Datasets: make([]Dataset, nd),
+		Queries:  make([]Query, nq),
+	}
+	for i := range w.Datasets {
+		w.Datasets[i] = Dataset{
+			ID:     DatasetID(i),
+			SizeGB: uniform(c.SizeMinGB, c.SizeMaxGB),
+			Origin: top.ComputeNodes[rng.Intn(top.NumCompute())],
+		}
+	}
+	for i := range w.Queries {
+		home := top.ComputeNodes[rng.Intn(top.NumCompute())]
+		k := 1 + rng.Intn(c.MaxDatasetsPerQuery)
+		if k > nd {
+			k = nd
+		}
+		perm := rng.Perm(nd)[:k]
+		demands := make([]Demand, k)
+		maxSize := 0.0
+		for j, dsIdx := range perm {
+			demands[j] = Demand{
+				Dataset:     DatasetID(dsIdx),
+				Selectivity: uniform(c.SelectivityMin, c.SelectivityMax),
+			}
+			if s := w.Datasets[dsIdx].SizeGB; s > maxSize {
+				maxSize = s
+			}
+		}
+		w.Queries[i] = Query{
+			ID:           QueryID(i),
+			Home:         home,
+			Demands:      demands,
+			ComputePerGB: uniform(c.ComputeMinPerGB, c.ComputeMaxPerGB),
+			DeadlineSec:  maxSize * c.DeadlinePerGB * uniform(c.DeadlineSlackMin, c.DeadlineSlackMax),
+		}
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate panicking on error, for known-good configs.
+func MustGenerate(c Config, top *topology.Topology) *Workload {
+	w, err := Generate(c, top)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// SplitSingleDataset converts a general workload into the paper's special
+// case: each (query, demanded dataset) pair becomes its own single-dataset
+// query, keeping home, compute rate and deadline. This is how Appro-G reuses
+// Appro-S (paper Algorithm 2) and how the special-case experiments (Fig. 2)
+// build their inputs.
+func (w *Workload) SplitSingleDataset() *Workload {
+	out := &Workload{Datasets: w.Datasets}
+	for _, q := range w.Queries {
+		for _, d := range q.Demands {
+			out.Queries = append(out.Queries, Query{
+				ID:           QueryID(len(out.Queries)),
+				Home:         q.Home,
+				Demands:      []Demand{d},
+				ComputePerGB: q.ComputePerGB,
+				DeadlineSec:  q.DeadlineSec,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgerep/internal/topology"
+)
+
+func testTopology(t testing.TB) *topology.Topology {
+	t.Helper()
+	return topology.MustGenerate(topology.DefaultConfig())
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.SizeMinGB != 1 || c.SizeMaxGB != 6 {
+		t.Fatalf("size range [%v,%v], paper uses [1,6] GB", c.SizeMinGB, c.SizeMaxGB)
+	}
+	if c.ComputeMinPerGB != 0.75 || c.ComputeMaxPerGB != 1.25 {
+		t.Fatalf("compute range [%v,%v], paper uses [0.75,1.25] GHz/GB",
+			c.ComputeMinPerGB, c.ComputeMaxPerGB)
+	}
+	if c.MaxDatasetsPerQuery != 7 {
+		t.Fatalf("F = %d, paper draws demanded-set size from [1,7]", c.MaxDatasetsPerQuery)
+	}
+}
+
+func TestGenerateRangesAndCounts(t *testing.T) {
+	top := testTopology(t)
+	c := DefaultConfig()
+	c.NumDatasets = 12
+	c.NumQueries = 40
+	w := MustGenerate(c, top)
+	if len(w.Datasets) != 12 || len(w.Queries) != 40 {
+		t.Fatalf("got %d datasets, %d queries", len(w.Datasets), len(w.Queries))
+	}
+	computeSet := map[int]bool{}
+	for _, id := range top.ComputeNodes {
+		computeSet[int(id)] = true
+	}
+	for _, d := range w.Datasets {
+		if d.SizeGB < c.SizeMinGB || d.SizeGB > c.SizeMaxGB {
+			t.Fatalf("dataset %d size %v outside [%v,%v]", d.ID, d.SizeGB, c.SizeMinGB, c.SizeMaxGB)
+		}
+		if !computeSet[int(d.Origin)] {
+			t.Fatalf("dataset %d originates at non-compute node %d", d.ID, d.Origin)
+		}
+	}
+	for _, q := range w.Queries {
+		if len(q.Demands) < 1 || len(q.Demands) > c.MaxDatasetsPerQuery {
+			t.Fatalf("query %d demands %d datasets, want [1,%d]", q.ID, len(q.Demands), c.MaxDatasetsPerQuery)
+		}
+		if q.ComputePerGB < c.ComputeMinPerGB || q.ComputePerGB > c.ComputeMaxPerGB {
+			t.Fatalf("query %d compute %v outside range", q.ID, q.ComputePerGB)
+		}
+		if q.DeadlineSec <= 0 {
+			t.Fatalf("query %d non-positive deadline", q.ID)
+		}
+		if !computeSet[int(q.Home)] {
+			t.Fatalf("query %d home at non-compute node %d", q.ID, q.Home)
+		}
+		seen := map[DatasetID]bool{}
+		for _, dm := range q.Demands {
+			if dm.Selectivity <= 0 || dm.Selectivity > 1 {
+				t.Fatalf("query %d selectivity %v outside (0,1]", q.ID, dm.Selectivity)
+			}
+			if seen[dm.Dataset] {
+				t.Fatalf("query %d demands dataset %d twice", q.ID, dm.Dataset)
+			}
+			seen[dm.Dataset] = true
+		}
+	}
+}
+
+func TestGenerateDefaultDrawsPaperRanges(t *testing.T) {
+	top := testTopology(t)
+	for seed := int64(0); seed < 20; seed++ {
+		c := DefaultConfig()
+		c.Seed = seed
+		w := MustGenerate(c, top)
+		if len(w.Datasets) < 5 || len(w.Datasets) > 20 {
+			t.Fatalf("seed %d: %d datasets outside [5,20]", seed, len(w.Datasets))
+		}
+		if len(w.Queries) < 10 || len(w.Queries) > 100 {
+			t.Fatalf("seed %d: %d queries outside [10,100]", seed, len(w.Queries))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	top := testTopology(t)
+	a := MustGenerate(DefaultConfig(), top)
+	b := MustGenerate(DefaultConfig(), top)
+	if len(a.Queries) != len(b.Queries) || len(a.Datasets) != len(b.Datasets) {
+		t.Fatal("same seed produced different cardinalities")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].DeadlineSec != b.Queries[i].DeadlineSec {
+			t.Fatalf("same seed, query %d deadlines differ", i)
+		}
+	}
+}
+
+func TestDeadlineScalesWithLargestDemandedDataset(t *testing.T) {
+	top := testTopology(t)
+	c := DefaultConfig()
+	c.NumDatasets = 10
+	c.NumQueries = 60
+	w := MustGenerate(c, top)
+	for _, q := range w.Queries {
+		maxSize := 0.0
+		for _, d := range q.Demands {
+			if s := w.Datasets[d.Dataset].SizeGB; s > maxSize {
+				maxSize = s
+			}
+		}
+		lo := maxSize * c.DeadlinePerGB * c.DeadlineSlackMin
+		hi := maxSize * c.DeadlinePerGB * c.DeadlineSlackMax
+		if q.DeadlineSec < lo-1e-9 || q.DeadlineSec > hi+1e-9 {
+			t.Fatalf("query %d deadline %v outside [%v,%v] for max size %v",
+				q.ID, q.DeadlineSec, lo, hi, maxSize)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.NumDatasets = -1 },
+		func(c *Config) { c.MaxDatasetsPerQuery = 0 },
+		func(c *Config) { c.SizeMinGB = 0 },
+		func(c *Config) { c.SizeMaxGB = 0.5 },
+		func(c *Config) { c.ComputeMinPerGB = -1 },
+		func(c *Config) { c.SelectivityMin = 0 },
+		func(c *Config) { c.SelectivityMax = 1.5 },
+		func(c *Config) { c.DeadlinePerGB = 0 },
+		func(c *Config) { c.DeadlineSlackMin = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSplitSingleDataset(t *testing.T) {
+	top := testTopology(t)
+	c := DefaultConfig()
+	c.NumDatasets = 8
+	c.NumQueries = 25
+	w := MustGenerate(c, top)
+	s := w.SplitSingleDataset()
+	wantQueries := 0
+	for _, q := range w.Queries {
+		wantQueries += len(q.Demands)
+	}
+	if len(s.Queries) != wantQueries {
+		t.Fatalf("split produced %d queries, want %d", len(s.Queries), wantQueries)
+	}
+	for i, q := range s.Queries {
+		if len(q.Demands) != 1 {
+			t.Fatalf("split query %d demands %d datasets", i, len(q.Demands))
+		}
+		if int(q.ID) != i {
+			t.Fatalf("split query IDs not dense: %d at %d", q.ID, i)
+		}
+	}
+	// Total demanded volume must be preserved exactly.
+	if math.Abs(s.TotalDemandedVolume()-w.TotalDemandedVolume()) > 1e-9 {
+		t.Fatalf("split changed total volume: %v vs %v",
+			s.TotalDemandedVolume(), w.TotalDemandedVolume())
+	}
+}
+
+// Property: generation never violates its own documented invariants.
+func TestGenerateInvariantsProperty(t *testing.T) {
+	top := testTopology(t)
+	f := func(seed int64, f8 uint8) bool {
+		c := DefaultConfig()
+		c.Seed = seed
+		c.MaxDatasetsPerQuery = 1 + int(f8)%7
+		w, err := Generate(c, top)
+		if err != nil {
+			return false
+		}
+		for _, q := range w.Queries {
+			if len(q.Demands) > c.MaxDatasetsPerQuery || len(q.Demands) < 1 {
+				return false
+			}
+			if q.DeadlineSec <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandedVolume(t *testing.T) {
+	ds := []Dataset{{ID: 0, SizeGB: 2}, {ID: 1, SizeGB: 3.5}}
+	q := Query{Demands: []Demand{{Dataset: 0, Selectivity: 1}, {Dataset: 1, Selectivity: 0.5}}}
+	if v := q.DemandedVolume(ds); v != 5.5 {
+		t.Fatalf("DemandedVolume = %v, want 5.5", v)
+	}
+}
+
+func BenchmarkGenerateWorkload(b *testing.B) {
+	top := topology.MustGenerate(topology.DefaultConfig())
+	c := DefaultConfig()
+	c.NumDatasets = 20
+	c.NumQueries = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(c, top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
