@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repository gate: formatting, vet, build, race-enabled tests, bench smoke.
+# Run before every commit. See ARCHITECTURE.md, "CI".
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== bench smoke"
+go test -run '^$' -bench 'BenchmarkAlgorithmsHeadToHead' -benchtime 1x .
+
+echo "ci.sh: all green"

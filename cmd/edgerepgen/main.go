@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"edgerep/internal/instrument"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
 )
@@ -30,8 +31,15 @@ func main() {
 		queries  = flag.Int("queries", 60, "workload query count")
 		datasets = flag.Int("datasets", 12, "workload dataset count")
 		records  = flag.Int("records", 10000, "trace record count")
+		stats    = flag.Bool("stats", false, "collect runtime counters (Dijkstra calls, cache hits) and print them to stderr on exit")
 	)
 	flag.Parse()
+	if *stats {
+		instrument.Enable()
+		defer func() {
+			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+		}()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "edgerepgen: %v\n", err)

@@ -18,6 +18,7 @@ import (
 	"edgerep/internal/baselines"
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
+	"edgerep/internal/instrument"
 	"edgerep/internal/placement"
 	"edgerep/internal/routing"
 	"edgerep/internal/topology"
@@ -37,8 +38,15 @@ func main() {
 		diffPath = flag.String("diff", "", "diff the new plan against a saved plan file")
 		topoPath = flag.String("topo", "", "load the topology from a JSON file (edgerepgen -kind topology) instead of generating")
 		wlPath   = flag.String("workload", "", "load the workload from a JSON file (edgerepgen -kind workload) instead of generating")
+		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 	)
 	flag.Parse()
+	if *stats {
+		instrument.Enable()
+		defer func() {
+			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+		}()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "edgerepplace: %v\n", err)

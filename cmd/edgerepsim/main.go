@@ -9,6 +9,7 @@
 //	edgerepsim -fig all -quick       # every figure, reduced seeds
 //	edgerepsim -fig 5 -csv           # machine-readable output
 //	edgerepsim -seeds 5 -queries 80  # custom scale
+//	edgerepsim -fig 2 -stats         # runtime counters on stderr
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"edgerep/internal/experiments"
+	"edgerep/internal/instrument"
 	"edgerep/internal/metrics"
 )
 
@@ -29,8 +31,15 @@ func main() {
 		queries  = flag.Int("queries", 0, "override the number of queries (0 = config default)")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
 		ext      = flag.Bool("extensions", false, "run the extension experiments (proactive vs reactive, online vs offline, optimality gap)")
+		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 	)
 	flag.Parse()
+	if *stats {
+		instrument.Enable()
+		defer func() {
+			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+		}()
+	}
 
 	if *ext {
 		simCfg := experiments.DefaultSimConfig()

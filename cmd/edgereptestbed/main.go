@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"edgerep/internal/experiments"
+	"edgerep/internal/instrument"
 	"edgerep/internal/testbed"
 )
 
@@ -30,8 +31,15 @@ func main() {
 		describe = flag.Bool("describe", false, "print the emulated testbed layout (paper Fig. 6) and exit")
 		scale    = flag.Float64("latency-scale", 0, "wall-clock scale of injected latencies (0 = config default)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 	)
 	flag.Parse()
+	if *stats {
+		instrument.Enable()
+		defer func() {
+			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+		}()
+	}
 
 	if *describe {
 		cfg := testbed.DefaultClusterConfig()

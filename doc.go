@@ -17,10 +17,14 @@
 // internal/analytics), explicit routing with load-aware multipath spreading
 // (internal/routing, internal/graph), the online and reactive counterpoints
 // to the paper's proactive offline setting (internal/online,
-// internal/reactive, internal/forecast), and drivers that regenerate every
-// figure of the paper plus the ablations (internal/experiments).
+// internal/reactive, internal/forecast), drivers that regenerate every
+// figure of the paper plus the ablations (internal/experiments), and the
+// runtime instrumentation behind the repository's performance trajectory
+// (internal/instrument; enable with -stats on any cmd/ binary).
 //
 // Root-level benchmarks (bench_test.go) regenerate each figure and the
-// ablations; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// measured-vs-paper results.
+// ablations; TestWriteBenchReport (benchreport_test.go) regenerates the
+// committed BENCH_pr1.json perf record. See DESIGN.md for the experiment
+// index, EXPERIMENTS.md for measured-vs-paper results, and ARCHITECTURE.md
+// for the package-to-paper map and hot-path guide.
 package edgerep

@@ -46,8 +46,21 @@ import (
 	"sync"
 
 	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
 	"edgerep/internal/placement"
 	"edgerep/internal/workload"
+)
+
+// Ascent instrumentation (enabled via instrument.Enable; surfaced by the
+// cmd/ binaries' -stats flag and the BENCH report).
+var (
+	statRounds         = instrument.NewCounter("core.ascent_rounds")
+	statBundlesPriced  = instrument.NewCounter("core.bundles_priced")
+	statAdmitted       = instrument.NewCounter("core.admitted_queries")
+	statRejected       = instrument.NewCounter("core.rejected_queries")
+	statProactiveSites = instrument.NewCounter("core.proactive_sites")
+	statScratchReuses  = instrument.NewCounter("core.scratch_reuses")
+	statScratchAllocs  = instrument.NewCounter("core.scratch_allocs")
 )
 
 // Options tunes the dual ascent. The zero value selects the defaults used
@@ -154,13 +167,17 @@ type pairCost struct {
 	open bool // a new replica must be created
 }
 
-// ascent holds the mutable state of the dual ascent.
+// ascent holds the mutable state of the dual ascent. The hot-path state
+// (capacities, prices, preferred sites) is kept in dense slices indexed by
+// compute-node index — no map lookups or per-candidate allocations inside
+// the pricing loops.
 type ascent struct {
 	p   *placement.Problem
 	opt Options
-	// avail and used track capacity without mutating the shared cloud.
-	avail map[graph.NodeID]float64
-	caps  map[graph.NodeID]float64
+	// avail and caps track capacity per node index without mutating the
+	// shared cloud.
+	avail []float64
+	caps  []float64
 	sol   *placement.Solution
 	base  float64
 	repW  float64
@@ -169,32 +186,90 @@ type ascent struct {
 	delays [][][]float64
 	nodes  []graph.NodeID
 	nodeIx map[graph.NodeID]int
-	// preferred holds the sites chosen by the proactive replication phase.
-	// A replica only materializes (and counts toward K) when a query is
+	// thetaCache holds θ per node index for the current admission round.
+	// θ depends only on avail/caps, which change exclusively in commit, so
+	// it is refreshed once per round instead of per candidate evaluation.
+	thetaCache []float64
+	// preferred holds the sites chosen by the proactive replication phase,
+	// dense per (dataset, node index); nil rows mean no preferred sites. A
+	// replica only materializes (and counts toward K) when a query is
 	// actually assigned to it; preferred sites carry zero opening price in
 	// the dual cost, steering the ascent toward the coverage-optimal
 	// layout without freezing K slots on never-used copies.
-	preferred map[workload.DatasetID]map[graph.NodeID]bool
+	preferred [][]bool
+	// scratchPool recycles the per-bundle pricing buffers across rounds
+	// and across the parallel pricing workers.
+	scratchPool sync.Pool
+}
+
+// scratch carries the per-bundle tentative state of planBundle/demandCost:
+// per-node tentative capacity use and per-(dataset, node) tentative replica
+// openings. Buffers are dense and reset in O(touched) via the recorded
+// touch lists, so a bundle evaluation allocates nothing after warm-up.
+type scratch struct {
+	extraUse  []float64 // tentative GHz per node index
+	usedNodes []int     // node indices with extraUse != 0
+
+	extraOpen []bool // tentative opening per ds*numNodes+vi
+	openFlat  []int  // flat indices with extraOpen set
+
+	openCount    []int // tentative openings per dataset
+	openDatasets []int // datasets with openCount != 0
+}
+
+func (a *ascent) getScratch() *scratch {
+	if sc, ok := a.scratchPool.Get().(*scratch); ok && sc != nil {
+		statScratchReuses.Inc()
+		return sc
+	}
+	statScratchAllocs.Inc()
+	return &scratch{
+		extraUse:  make([]float64, len(a.nodes)),
+		extraOpen: make([]bool, len(a.p.Datasets)*len(a.nodes)),
+		openCount: make([]int, len(a.p.Datasets)),
+	}
+}
+
+// reset clears only the entries a bundle actually touched.
+func (sc *scratch) reset() {
+	for _, vi := range sc.usedNodes {
+		sc.extraUse[vi] = 0
+	}
+	sc.usedNodes = sc.usedNodes[:0]
+	for _, fi := range sc.openFlat {
+		sc.extraOpen[fi] = false
+	}
+	sc.openFlat = sc.openFlat[:0]
+	for _, ds := range sc.openDatasets {
+		sc.openCount[ds] = 0
+	}
+	sc.openDatasets = sc.openDatasets[:0]
+}
+
+func (a *ascent) putScratch(sc *scratch) {
+	sc.reset()
+	a.scratchPool.Put(sc)
 }
 
 func newAscent(p *placement.Problem, opt Options) *ascent {
 	a := &ascent{
 		p:         p,
 		opt:       opt,
-		avail:     make(map[graph.NodeID]float64),
-		caps:      make(map[graph.NodeID]float64),
 		sol:       placement.NewSolution(),
 		base:      opt.priceBase(len(p.Queries)),
 		repW:      opt.replicaWeight(),
 		delW:      opt.delayWeight(),
 		nodes:     p.Cloud.ComputeNodes(),
 		nodeIx:    make(map[graph.NodeID]int),
-		preferred: make(map[workload.DatasetID]map[graph.NodeID]bool),
+		preferred: make([][]bool, len(p.Datasets)),
 	}
+	a.avail = make([]float64, len(a.nodes))
+	a.caps = make([]float64, len(a.nodes))
+	a.thetaCache = make([]float64, len(a.nodes))
 	for i, v := range a.nodes {
 		a.nodeIx[v] = i
-		a.avail[v] = p.Cloud.Available(v)
-		a.caps[v] = p.Cloud.Capacity(v)
+		a.avail[i] = p.Cloud.Available(v)
+		a.caps[i] = p.Cloud.Capacity(v)
 	}
 	a.delays = make([][][]float64, len(p.Queries))
 	for qi := range p.Queries {
@@ -213,6 +288,12 @@ func newAscent(p *placement.Problem, opt Options) *ascent {
 		}
 	}
 	return a
+}
+
+// isPreferred reports whether node index vi is a proactive site of ds.
+func (a *ascent) isPreferred(ds workload.DatasetID, vi int) bool {
+	row := a.preferred[ds]
+	return row != nil && row[vi]
 }
 
 // proactivePlace runs the replication phase: volume-weighted maximum
@@ -250,19 +331,18 @@ func (a *ascent) proactivePlace() {
 	// claimed tracks expected capacity committed to already-chosen sites so
 	// replicas of different datasets spread instead of stacking on one
 	// popular cloudlet.
-	claimed := make(map[graph.NodeID]float64, len(a.nodes))
+	claimed := make([]float64, len(a.nodes))
 
 	for _, n := range order {
 		demands := perDataset[n]
 		covered := make([]bool, len(demands))
 		for slot := 0; slot < a.p.MaxReplicas; slot++ {
-			var bestNode graph.NodeID = -1
+			bestIx := -1
 			bestEff := 0.0
-			for _, v := range a.nodes {
-				if a.preferred[n][v] {
+			for vi, v := range a.nodes {
+				if a.isPreferred(n, vi) {
 					continue
 				}
-				vi := a.nodeIx[v]
 				cover := 0.0
 				for i, d := range demands {
 					if covered[i] {
@@ -275,27 +355,27 @@ func (a *ascent) proactivePlace() {
 				if cover <= 0 {
 					continue
 				}
-				eff := math.Min(cover, a.caps[v]-claimed[v])
-				if eff > bestEff || (eff == bestEff && bestNode != -1 && v < bestNode) {
-					bestNode, bestEff = v, eff
+				eff := math.Min(cover, a.caps[vi]-claimed[vi])
+				if eff > bestEff || (eff == bestEff && bestIx != -1 && v < a.nodes[bestIx]) {
+					bestIx, bestEff = vi, eff
 				}
 			}
-			if bestNode == -1 || bestEff <= 0 {
+			if bestIx == -1 || bestEff <= 0 {
 				break // no remaining useful site for this dataset
 			}
 			if a.preferred[n] == nil {
-				a.preferred[n] = make(map[graph.NodeID]bool)
+				a.preferred[n] = make([]bool, len(a.nodes))
 			}
-			a.preferred[n][bestNode] = true
-			vi := a.nodeIx[bestNode]
+			a.preferred[n][bestIx] = true
+			statProactiveSites.Inc()
 			// Mark demands covered only up to the node's remaining
 			// capacity budget, smallest-need first (serves the most
 			// queries per GHz); the rest stay uncovered so later slots
 			// are spent where capacity actually exists.
-			budget := a.caps[bestNode] - claimed[bestNode]
+			budget := a.caps[bestIx] - claimed[bestIx]
 			var feasible []int
 			for i, d := range demands {
-				if !covered[i] && a.delays[d.qi][d.di][vi] <= a.p.Queries[d.qi].DeadlineSec {
+				if !covered[i] && a.delays[d.qi][d.di][bestIx] <= a.p.Queries[d.qi].DeadlineSec {
 					feasible = append(feasible, i)
 				}
 			}
@@ -313,26 +393,35 @@ func (a *ascent) proactivePlace() {
 				covered[i] = true
 				marked += demands[i].need
 			}
-			claimed[bestNode] += marked
+			claimed[bestIx] += marked
 		}
 	}
 }
 
-// theta is the capacity price of node v: (c^u − 1)/(c − 1) on utilization u.
-func (a *ascent) theta(v graph.NodeID) float64 {
-	cap := a.caps[v]
+// thetaAt is the capacity price of the node at index vi:
+// (c^u − 1)/(c − 1) on utilization u.
+func (a *ascent) thetaAt(vi int) float64 {
+	cap := a.caps[vi]
 	if cap <= 0 {
 		return math.Inf(1)
 	}
-	u := (cap - a.avail[v]) / cap
+	u := (cap - a.avail[vi]) / cap
 	return (math.Pow(a.base, u) - 1) / (a.base - 1)
 }
 
+// refreshTheta fills thetaCache for the current admission round. avail/caps
+// change only in commit, so every bundle priced within one round sees the
+// same θ whether it reads the cache or recomputes.
+func (a *ascent) refreshTheta() {
+	for vi := range a.nodes {
+		a.thetaCache[vi] = a.thetaAt(vi)
+	}
+}
+
 // demandCost prices serving demand di of query qi at every node and returns
-// the cheapest feasible option. extraUse carries tentative per-node load from
-// other demands of the same bundle; extraOpen carries tentative replica
-// openings (dataset → nodes) within the bundle.
-func (a *ascent) demandCost(qi, di int, extraUse map[graph.NodeID]float64, extraOpen map[workload.DatasetID]map[graph.NodeID]bool) (pairCost, bool) {
+// the cheapest feasible option. sc carries tentative per-node load and
+// tentative replica openings from other demands of the same bundle.
+func (a *ascent) demandCost(qi, di int, sc *scratch) (pairCost, bool) {
 	q := &a.p.Queries[qi]
 	dm := q.Demands[di]
 	size := a.p.Datasets[dm.Dataset].SizeGB
@@ -342,16 +431,18 @@ func (a *ascent) demandCost(qi, di int, extraUse map[graph.NodeID]float64, extra
 	best := pairCost{cost: math.Inf(1)}
 	found := false
 
-	openCount := a.sol.ReplicaCount(dm.Dataset) + len(extraOpen[dm.Dataset])
+	flatBase := int(dm.Dataset) * len(a.nodes)
+	openCount := a.sol.ReplicaCount(dm.Dataset) + sc.openCount[dm.Dataset]
+	delays := a.delays[qi][di]
 	for vi, v := range a.nodes {
-		delay := a.delays[qi][di][vi]
+		delay := delays[vi]
 		if delay > deadline { // constraint (4): η price infinite
 			continue
 		}
-		if need > a.avail[v]-extraUse[v]+1e-9 { // constraint (2)
+		if need > a.avail[vi]-sc.extraUse[vi]+1e-9 { // constraint (2)
 			continue
 		}
-		hasReplica := a.sol.HasReplica(dm.Dataset, v) || extraOpen[dm.Dataset][v]
+		hasReplica := a.sol.HasReplica(dm.Dataset, v) || sc.extraOpen[flatBase+vi]
 		open := false
 		repPrice := 0.0
 		if !hasReplica {
@@ -359,11 +450,11 @@ func (a *ascent) demandCost(qi, di int, extraUse map[graph.NodeID]float64, extra
 				continue
 			}
 			open = true
-			if !a.preferred[dm.Dataset][v] {
+			if !a.isPreferred(dm.Dataset, vi) {
 				repPrice = a.repW * size * float64(openCount+1) / float64(a.p.MaxReplicas)
 			}
 		}
-		cost := need*a.theta(v) + a.delW*size*(delay/deadline) + repPrice
+		cost := need*a.thetaCache[vi] + a.delW*size*(delay/deadline) + repPrice
 		if cost < best.cost || (cost == best.cost && found && v < best.node) {
 			best = pairCost{node: v, cost: cost, need: need, open: open}
 			found = true
@@ -382,15 +473,16 @@ type bundlePlan struct {
 }
 
 // planBundle prices query qi's full bundle. Demands are placed one at a time
-// against tentative capacity so that two demands of the same query cannot
-// both count the same free capacity.
-func (a *ascent) planBundle(qi int) (bundlePlan, bool) {
+// against tentative capacity (tracked in sc) so that two demands of the same
+// query cannot both count the same free capacity. sc is reset on entry, so a
+// pooled scratch can be reused across bundles without cross-talk.
+func (a *ascent) planBundle(qi int, sc *scratch) (bundlePlan, bool) {
+	statBundlesPriced.Inc()
+	sc.reset()
 	q := &a.p.Queries[qi]
 	plan := bundlePlan{qi: qi, picks: make([]pairCost, 0, len(q.Demands))}
-	extraUse := make(map[graph.NodeID]float64)
-	extraOpen := make(map[workload.DatasetID]map[graph.NodeID]bool)
 	for di := range q.Demands {
-		pick, ok := a.demandCost(qi, di, extraUse, extraOpen)
+		pick, ok := a.demandCost(qi, di, sc)
 		if !ok {
 			if !a.opt.PartialAdmission {
 				return bundlePlan{}, false
@@ -402,14 +494,22 @@ func (a *ascent) planBundle(qi int) (bundlePlan, bool) {
 		plan.cost += pick.cost
 		plan.value += a.p.Datasets[q.Demands[di].Dataset].SizeGB
 		plan.picks = append(plan.picks, pick)
-		extraUse[pick.node] += pick.need
+		vi := a.nodeIx[pick.node]
+		if sc.extraUse[vi] == 0 {
+			sc.usedNodes = append(sc.usedNodes, vi)
+		}
+		sc.extraUse[vi] += pick.need
 		if pick.open {
-			m := extraOpen[q.Demands[di].Dataset]
-			if m == nil {
-				m = make(map[graph.NodeID]bool)
-				extraOpen[q.Demands[di].Dataset] = m
+			ds := int(q.Demands[di].Dataset)
+			fi := ds*len(a.nodes) + vi
+			if !sc.extraOpen[fi] {
+				sc.extraOpen[fi] = true
+				sc.openFlat = append(sc.openFlat, fi)
+				sc.openCount[ds]++
+				if sc.openCount[ds] == 1 {
+					sc.openDatasets = append(sc.openDatasets, ds)
+				}
 			}
-			m[pick.node] = true
 		}
 	}
 	if plan.value == 0 {
@@ -428,14 +528,16 @@ func (a *ascent) commit(plan bundlePlan) {
 			continue // infeasible demand under PartialAdmission
 		}
 		ds := q.Demands[di].Dataset
-		a.avail[pick.node] -= pick.need
-		if a.avail[pick.node] < 0 {
-			a.avail[pick.node] = 0
+		vi := a.nodeIx[pick.node]
+		a.avail[vi] -= pick.need
+		if a.avail[vi] < 0 {
+			a.avail[vi] = 0
 		}
 		a.sol.AddReplica(ds, pick.node)
 		as = append(as, placement.Assignment{Query: q.ID, Dataset: ds, Node: pick.node})
 	}
 	a.sol.Admit(q.ID, as)
+	statAdmitted.Inc()
 }
 
 // run executes the dual ascent to exhaustion.
@@ -454,17 +556,21 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	seqScratch := a.getScratch()
+	defer a.putScratch(seqScratch)
 
 	for len(remaining) > 0 {
+		statRounds.Inc()
+		a.refreshTheta()
 		bestIdx := -1
 		var best bundlePlan
 		bestRatio := math.Inf(1)
 		next := make([]int, 0, len(remaining))
 		if workers > 1 && !opt.ArbitraryOrder && len(remaining) > 1 {
 			// Price all remaining bundles concurrently. planBundle only
-			// reads ascent state, so the workers share it safely; the
-			// reduction below is deterministic regardless of completion
-			// order.
+			// reads ascent state (each worker carries its own scratch), so
+			// the workers share it safely; the reduction below is
+			// deterministic regardless of completion order.
 			type priced struct {
 				plan bundlePlan
 				ok   bool
@@ -484,8 +590,10 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 				wg.Add(1)
 				go func(lo, hi int) {
 					defer wg.Done()
+					sc := a.getScratch()
+					defer a.putScratch(sc)
 					for i := lo; i < hi; i++ {
-						plan, ok := a.planBundle(remaining[i])
+						plan, ok := a.planBundle(remaining[i], sc)
 						plans[i] = priced{plan: plan, ok: ok}
 					}
 				}(lo, hi)
@@ -494,6 +602,7 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 			for i, qi := range remaining {
 				if !plans[i].ok {
 					res.Rejected++
+					statRejected.Inc()
 					continue
 				}
 				next = append(next, qi)
@@ -504,11 +613,12 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 			}
 		} else {
 			for _, qi := range remaining {
-				plan, ok := a.planBundle(qi)
+				plan, ok := a.planBundle(qi, seqScratch)
 				if !ok {
 					// Capacity only shrinks and frozen replica sets only
 					// freeze harder, so infeasibility is permanent.
 					res.Rejected++
+					statRejected.Inc()
 					continue
 				}
 				next = append(next, qi)
@@ -551,13 +661,19 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 
 	res.Solution = a.sol
 	res.FinalTheta = make(map[graph.NodeID]float64, len(a.nodes))
-	for _, v := range a.nodes {
-		res.FinalTheta[v] = a.theta(v)
+	for vi, v := range a.nodes {
+		res.FinalTheta[v] = a.thetaAt(vi)
 	}
 	res.PreferredSites = make(map[workload.DatasetID][]graph.NodeID, len(a.preferred))
-	for n, m := range a.preferred {
-		for v := range m {
-			res.PreferredSites[n] = append(res.PreferredSites[n], v)
+	for ds, row := range a.preferred {
+		if row == nil {
+			continue
+		}
+		n := workload.DatasetID(ds)
+		for vi, on := range row {
+			if on {
+				res.PreferredSites[n] = append(res.PreferredSites[n], a.nodes[vi])
+			}
 		}
 		sort.Slice(res.PreferredSites[n], func(i, j int) bool {
 			return res.PreferredSites[n][i] < res.PreferredSites[n][j]

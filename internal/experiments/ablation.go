@@ -42,24 +42,34 @@ func (c AblationConfig) Validate() error {
 	return nil
 }
 
-// ablationInstance builds one default-topology problem.
-func (c AblationConfig) instance(seed int64) (*placement.Problem, error) {
-	return instance(seed, 30, c.NumDatasets, c.NumQueries, c.F, c.K, false)
+// instance builds one default-topology problem over the driver's shared
+// topology cache (the topology depends only on the seed, so every variant
+// and parameter value of an ablation reuses it).
+func (c AblationConfig) instance(tc *topoCache, seed int64) (*placement.Problem, error) {
+	return tc.instance(seed, 30, c.NumDatasets, c.NumQueries, c.F, c.K, false)
 }
 
-// meanVolume runs Appro-G with the given options across seeds.
-func (c AblationConfig) meanVolume(opt core.Options) (float64, error) {
-	sum := 0.0
-	for _, seed := range c.Seeds {
-		p, err := c.instance(seed)
+// meanVolume runs Appro-G with the given options across seeds, in parallel.
+func (c AblationConfig) meanVolume(tc *topoCache, opt core.Options) (float64, error) {
+	vols := make([]float64, len(c.Seeds))
+	err := forEachSeed(c.Seeds, func(i int, seed int64) error {
+		p, err := c.instance(tc, seed)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		res, err := core.ApproG(p, opt)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sum += res.Solution.Volume(p)
+		vols[i] = res.Solution.Volume(p)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, v := range vols {
+		sum += v
 	}
 	return sum / float64(len(c.Seeds)), nil
 }
@@ -70,8 +80,9 @@ func AblationPriceBase(c AblationConfig) (*metrics.Table, error) {
 		return nil, err
 	}
 	t := metrics.NewTable("Ablation: θ price base c", "c", "mean admitted volume (GB)")
+	tc := newTopoCache()
 	for _, base := range []float64{2, 4, 8, 16, 1 + float64(c.NumQueries)} {
-		v, err := c.meanVolume(core.Options{PriceBase: base})
+		v, err := c.meanVolume(tc, core.Options{PriceBase: base})
 		if err != nil {
 			return nil, err
 		}
@@ -86,8 +97,9 @@ func AblationReplicaPrice(c AblationConfig) (*metrics.Table, error) {
 		return nil, err
 	}
 	t := metrics.NewTable("Ablation: replica price weight", "w", "mean admitted volume (GB)")
+	tc := newTopoCache()
 	for _, w := range []float64{0.05, 0.1, 0.25, 0.5, 1.0, 2.0} {
-		v, err := c.meanVolume(core.Options{ReplicaPriceWeight: w})
+		v, err := c.meanVolume(tc, core.Options{ReplicaPriceWeight: w})
 		if err != nil {
 			return nil, err
 		}
@@ -102,8 +114,9 @@ func AblationDelayPrice(c AblationConfig) (*metrics.Table, error) {
 		return nil, err
 	}
 	t := metrics.NewTable("Ablation: delay price weight", "w", "mean admitted volume (GB)")
+	tc := newTopoCache()
 	for _, w := range []float64{0.05, 0.15, 0.4, 1.0} {
-		v, err := c.meanVolume(core.Options{DelayPriceWeight: w})
+		v, err := c.meanVolume(tc, core.Options{DelayPriceWeight: w})
 		if err != nil {
 			return nil, err
 		}
@@ -130,21 +143,32 @@ func AblationMechanisms(c AblationConfig) (*metrics.Table, error) {
 		{"id-order", core.Options{ArbitraryOrder: true}},
 		{"partial-bundles", core.Options{PartialAdmission: true}},
 	}
+	tc := newTopoCache()
 	for _, variant := range variants {
-		var objSum, servedSum float64
-		for _, seed := range c.Seeds {
-			p, err := c.instance(seed)
+		type cell struct{ obj, served float64 }
+		cells := make([]cell, len(c.Seeds))
+		err := forEachSeed(c.Seeds, func(i int, seed int64) error {
+			p, err := c.instance(tc, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := core.ApproG(p, variant.opt)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			objSum += res.Solution.Volume(p)
+			cells[i].obj = res.Solution.Volume(p)
 			for _, a := range res.Solution.Assignments {
-				servedSum += p.Datasets[a.Dataset].SizeGB
+				cells[i].served += p.Datasets[a.Dataset].SizeGB
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var objSum, servedSum float64
+		for _, cl := range cells {
+			objSum += cl.obj
+			servedSum += cl.served
 		}
 		n := float64(len(c.Seeds))
 		t.AddPoint("objective (admitted bundles)", variant.name, objSum/n)
@@ -161,8 +185,9 @@ func AblationTopologyModel(c AblationConfig) (*metrics.Table, error) {
 	}
 	t := metrics.NewTable("Ablation: topology model", "model", "mean value")
 	for _, model := range []string{"flat", "transit-stub"} {
-		var volSum, tpSum, footSum float64
-		for _, seed := range c.Seeds {
+		type cell struct{ vol, tp, foot float64 }
+		cells := make([]cell, len(c.Seeds))
+		err := forEachSeed(c.Seeds, func(i int, seed int64) error {
 			var top *topology.Topology
 			var err error
 			switch model {
@@ -176,7 +201,7 @@ func AblationTopologyModel(c AblationConfig) (*metrics.Table, error) {
 				top, err = topology.GenerateTransitStub(tc)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			wc := workload.DefaultConfig()
 			wc.Seed = seed
@@ -185,23 +210,33 @@ func AblationTopologyModel(c AblationConfig) (*metrics.Table, error) {
 			wc.MaxDatasetsPerQuery = c.F
 			w, err := workload.Generate(wc, top)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			p, err := newProblem(top, w, c.K)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := core.ApproG(p, core.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			volSum += res.Solution.Volume(p)
-			tpSum += res.Solution.Throughput(p)
+			cells[i].vol = res.Solution.Volume(p)
+			cells[i].tp = res.Solution.Throughput(p)
 			fp, err := routing.MeasureFootprint(p, res.Solution, routing.NewRouter(top))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			footSum += fp.TotalGBHops
+			cells[i].foot = fp.TotalGBHops
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var volSum, tpSum, footSum float64
+		for _, cl := range cells {
+			volSum += cl.vol
+			tpSum += cl.tp
+			footSum += cl.foot
 		}
 		n := float64(len(c.Seeds))
 		t.AddPoint("volume (GB)", model, volSum/n)

@@ -42,34 +42,33 @@ func OptimalityGap(seeds []int64) (*metrics.Table, []GapPoint, error) {
 		return newProblem(top, w, 2)
 	}
 	t := metrics.NewTable("Optimality gap on tiny instances", "seed", "volume (GB)")
-	var points []GapPoint
-	for _, seed := range seeds {
+	// One problem per seed serves both solvers: SolveExact and ApproG read
+	// the problem without mutating it. Seeds run concurrently (the exact
+	// solver dominates the cost); the table is assembled in seed order.
+	points := make([]GapPoint, len(seeds))
+	err := forEachSeed(seeds, func(i int, seed int64) error {
 		p, err := tiny(seed)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		exact, err := ilp.SolveExact(p)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		pOpt, err := tiny(seed)
+		res, err := core.ApproG(p, core.Options{})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		opt := exact.Volume(pOpt)
-		pA, err := tiny(seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := core.ApproG(pA, core.Options{})
-		if err != nil {
-			return nil, nil, err
-		}
-		got := res.Solution.Volume(pA)
-		tick := fmt.Sprintf("%d", seed)
-		t.AddPoint("ILP optimum", tick, opt)
-		t.AddPoint("Appro-G", tick, got)
-		points = append(points, GapPoint{Seed: seed, Optimal: opt, Appro: got})
+		points[i] = GapPoint{Seed: seed, Optimal: exact.Volume(p), Appro: res.Solution.Volume(p)}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, gp := range points {
+		tick := fmt.Sprintf("%d", gp.Seed)
+		t.AddPoint("ILP optimum", tick, gp.Optimal)
+		t.AddPoint("Appro-G", tick, gp.Appro)
 	}
 	return t, points, nil
 }
@@ -84,27 +83,34 @@ func ProactiveVsReactive(cfg SimConfig) (*metrics.Table, error) {
 		return nil, err
 	}
 	t := metrics.NewTable("Proactive vs reactive replication", "max replicas K", "mean admitted volume (GB)")
+	tc := newTopoCache()
 	for _, k := range cfg.KValues {
+		type cell struct{ pro, re float64 }
+		cells := make([]cell, len(cfg.Seeds))
+		err := forEachSeed(cfg.Seeds, func(i int, seed int64) error {
+			p, err := tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
+			if err != nil {
+				return err
+			}
+			res, err := core.ApproG(p, core.Options{})
+			if err != nil {
+				return err
+			}
+			cells[i].pro = res.Solution.Volume(p)
+			re, err := reactive.Run(p, reactive.Options{ColdStartAtOrigin: true})
+			if err != nil {
+				return err
+			}
+			cells[i].re = re.Solution.Volume(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var proSum, reSum float64
-		for _, seed := range cfg.Seeds {
-			pPro, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.ApproG(pPro, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			proSum += res.Solution.Volume(pPro)
-			pRe, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
-			if err != nil {
-				return nil, err
-			}
-			re, err := reactive.Run(pRe, reactive.Options{ColdStartAtOrigin: true})
-			if err != nil {
-				return nil, err
-			}
-			reSum += re.Solution.Volume(pRe)
+		for _, cl := range cells {
+			proSum += cl.pro
+			reSum += cl.re
 		}
 		tick := fmt.Sprintf("%d", k)
 		n := float64(len(cfg.Seeds))

@@ -23,25 +23,24 @@ func OnlineVsOffline(cfg SimConfig, holdsSec []float64) (*metrics.Table, error) 
 		return nil, fmt.Errorf("experiments: empty hold sweep")
 	}
 	t := metrics.NewTable("Online vs offline admission", "mean hold (s)", "mean admitted volume (GB)")
+	tc := newTopoCache()
 	for _, hold := range holdsSec {
-		var offSum, lazySum, foreSum float64
-		for _, seed := range cfg.Seeds {
-			// Offline reference.
-			pOff, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+		type cell struct{ off, lazy, fore float64 }
+		cells := make([]cell, len(cfg.Seeds))
+		err := forEachSeed(cfg.Seeds, func(i int, seed int64) error {
+			// One problem per seed backs the offline reference and both
+			// online runs: the engine keeps its own allocation ledger.
+			p, err := tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res, err := core.ApproG(pOff, core.Options{})
+			res, err := core.ApproG(p, core.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			offSum += res.Solution.Volume(pOff)
+			cells[i].off = res.Solution.Volume(p)
 
 			runOnline := func(opts online.Options) (float64, error) {
-				p, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
-				if err != nil {
-					return 0, err
-				}
 				arrivals, err := workload.GenerateArrivals(
 					&workload.Workload{Datasets: p.Datasets, Queries: p.Queries},
 					workload.ArrivalConfig{MeanRatePerSec: 0.5, MeanHoldSec: hold, Seed: seed})
@@ -58,20 +57,22 @@ func OnlineVsOffline(cfg SimConfig, holdsSec []float64) (*metrics.Table, error) 
 				}
 				return e.Result().VolumeAdmitted, nil
 			}
-			lazy, err := runOnline(online.Options{})
-			if err != nil {
-				return nil, err
+			if cells[i].lazy, err = runOnline(online.Options{}); err != nil {
+				return err
 			}
-			lazySum += lazy
-			pFore, err := instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
-			if err != nil {
-				return nil, err
+			if cells[i].fore, err = runOnline(online.Options{Forecast: p.Queries}); err != nil {
+				return err
 			}
-			fore, err := runOnline(online.Options{Forecast: pFore.Queries})
-			if err != nil {
-				return nil, err
-			}
-			foreSum += fore
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var offSum, lazySum, foreSum float64
+		for _, cl := range cells {
+			offSum += cl.off
+			lazySum += cl.lazy
+			foreSum += cl.fore
 		}
 		tick := fmt.Sprintf("%g", hold)
 		n := float64(len(cfg.Seeds))

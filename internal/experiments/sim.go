@@ -15,10 +15,23 @@ import (
 	"edgerep/internal/baselines"
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
+	"edgerep/internal/instrument"
 	"edgerep/internal/metrics"
 	"edgerep/internal/placement"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
+)
+
+// Driver instrumentation (enabled via instrument.Enable; surfaced by the
+// cmd/ binaries' -stats flag and the BENCH report). The topo counters
+// quantify how much redundant generation the per-driver topology cache
+// eliminates: a figure whose x-axis does not alter |V| (Figs. 4–5) hits the
+// cache for every x beyond the first.
+var (
+	statTopoBuilds = instrument.NewCounter("experiments.topo_builds")
+	statTopoHits   = instrument.NewCounter("experiments.topo_cache_hits")
+	statInstances  = instrument.NewCounter("experiments.instances_built")
+	statAlgoRuns   = instrument.NewCounter("experiments.algorithm_runs")
 )
 
 // SimConfig parameterizes the simulation figures (Figs. 2–5).
@@ -131,14 +144,61 @@ func specialAlgos() []Algorithm {
 // newProblem wraps placement.NewProblem for drivers that build their own
 // topology and workload.
 func newProblem(top *topology.Topology, w *workload.Workload, k int) (*placement.Problem, error) {
+	statInstances.Inc()
 	return placement.NewProblem(cluster.New(top), w, k)
 }
 
-// instance builds the problem for one (seed, networkSize, F, K) point.
-// split selects the paper's special case (every query demands one dataset).
-func instance(seed int64, networkSize, numDatasets, numQueries, f, k int, split bool) (*placement.Problem, error) {
-	tc := topology.ScaledConfig(networkSize, seed)
-	top, err := topology.Generate(tc)
+// topoCache memoizes generated topologies per (seed, size). A topology is
+// immutable after generation (its lazy distance cache locks internally), and
+// no algorithm mutates the cluster ledger it is wrapped in, so one instance
+// can safely back every problem of a driver — across algorithms, K values,
+// and F values alike.
+type topoCache struct {
+	mu sync.Mutex
+	m  map[topoKey]*topology.Topology
+}
+
+type topoKey struct {
+	seed int64
+	size int
+}
+
+func newTopoCache() *topoCache {
+	return &topoCache{m: make(map[topoKey]*topology.Topology)}
+}
+
+// get returns the memoized topology for (seed, size), generating it on first
+// use. Concurrent racers on the same key keep one canonical copy so every
+// problem of a sweep shares the same distance cache.
+func (tc *topoCache) get(seed int64, size int) (*topology.Topology, error) {
+	key := topoKey{seed: seed, size: size}
+	tc.mu.Lock()
+	top, ok := tc.m[key]
+	tc.mu.Unlock()
+	if ok {
+		statTopoHits.Inc()
+		return top, nil
+	}
+	top, err := topology.Generate(topology.ScaledConfig(size, seed))
+	if err != nil {
+		return nil, err
+	}
+	statTopoBuilds.Inc()
+	tc.mu.Lock()
+	if prior, ok := tc.m[key]; ok {
+		top = prior
+	} else {
+		tc.m[key] = top
+	}
+	tc.mu.Unlock()
+	return top, nil
+}
+
+// instance builds the problem for one (seed, networkSize, F, K) point over a
+// cached topology. split selects the paper's special case (every query
+// demands one dataset).
+func (tc *topoCache) instance(seed int64, networkSize, numDatasets, numQueries, f, k int, split bool) (*placement.Problem, error) {
+	top, err := tc.get(seed, networkSize)
 	if err != nil {
 		return nil, err
 	}
@@ -154,60 +214,75 @@ func instance(seed int64, networkSize, numDatasets, numQueries, f, k int, split 
 	if split {
 		w = w.SplitSingleDataset()
 	}
-	return placement.NewProblem(cluster.New(top), w, k)
+	return newProblem(top, w, k)
+}
+
+// forEachSeed runs fn(i, seed) for every seed on a bounded worker pool and
+// returns the first error in seed order. Callers store results in
+// index-addressed slices, so any reduction after the pool drains is
+// deterministic at every GOMAXPROCS.
+func forEachSeed(seeds []int64, fn func(i int, seed int64) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, seed := range seeds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, seed)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweep runs algorithms over an x-axis, averaging volume and throughput over
-// seeds. build maps (seed, x) to a problem instance. Seeds run concurrently
-// (every (seed, algorithm) cell is independent); results land in an indexed
-// matrix and are reduced in fixed order, so the tables are identical at any
-// GOMAXPROCS.
+// seeds. build maps (seed, x) to a problem instance, built once per point and
+// shared by every algorithm (none of them mutates the problem or its cluster
+// ledger — each tracks capacity in private state). Seeds run concurrently;
+// results land in an indexed matrix and are reduced in fixed order, so the
+// tables are identical at any GOMAXPROCS.
 func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 	build func(seed int64, x int) (*placement.Problem, error)) (*metrics.Table, *metrics.Table, error) {
 
 	vol := metrics.NewTable(title+" (a)", xlabel, "volume of datasets demanded by admitted queries (GB)")
 	tp := metrics.NewTable(title+" (b)", xlabel, "system throughput")
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
 	for _, x := range xs {
-		type cell struct {
-			vol, tp float64
-			err     error
-		}
+		type cell struct{ vol, tp float64 }
 		results := make([][]cell, len(seeds)) // [seed][algo]
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for si, seed := range seeds {
+		err := forEachSeed(seeds, func(si int, seed int64) error {
 			results[si] = make([]cell, len(algos))
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(si int, seed int64) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				for ai, a := range algos {
-					p, err := build(seed, x)
-					if err != nil {
-						results[si][ai].err = fmt.Errorf("experiments: build %s x=%d seed=%d: %w", title, x, seed, err)
-						return
-					}
-					sol, err := a.Run(p)
-					if err != nil {
-						results[si][ai].err = fmt.Errorf("experiments: %s at x=%d seed=%d: %w", a.Name, x, seed, err)
-						return
-					}
-					results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
+			p, err := build(seed, x)
+			if err != nil {
+				return fmt.Errorf("experiments: build %s x=%d seed=%d: %w", title, x, seed, err)
+			}
+			for ai, a := range algos {
+				sol, err := a.Run(p)
+				if err != nil {
+					return fmt.Errorf("experiments: %s at x=%d seed=%d: %w", a.Name, x, seed, err)
 				}
-			}(si, seed)
+				statAlgoRuns.Inc()
+				results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
-		wg.Wait()
 		sums := make([][2]float64, len(algos))
 		for si := range seeds {
 			for ai := range algos {
-				if err := results[si][ai].err; err != nil {
-					return nil, nil, err
-				}
 				sums[ai][0] += results[si][ai].vol
 				sums[ai][1] += results[si][ai].tp
 			}
@@ -233,10 +308,11 @@ func Fig2(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tc := newTopoCache()
 	return sweep("Fig 2: special case vs network size", "network size |V|",
 		cfg.NetworkSizes, cfg.Seeds, specialAlgos(),
 		func(seed int64, n int) (*placement.Problem, error) {
-			return instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, true)
+			return tc.instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, true)
 		})
 }
 
@@ -246,10 +322,11 @@ func Fig3(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tc := newTopoCache()
 	return sweep("Fig 3: general case vs network size", "network size |V|",
 		cfg.NetworkSizes, cfg.Seeds, generalAlgos(),
 		func(seed int64, n int) (*placement.Problem, error) {
-			return instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+			return tc.instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
 		})
 }
 
@@ -259,10 +336,11 @@ func Fig4(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tc := newTopoCache()
 	return sweep("Fig 4: impact of F", "max datasets per query F",
 		cfg.FValues, cfg.Seeds, generalAlgos(),
 		func(seed int64, f int) (*placement.Problem, error) {
-			return instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, f, cfg.K, false)
+			return tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, f, cfg.K, false)
 		})
 }
 
@@ -272,10 +350,11 @@ func Fig5(cfg SimConfig) (*metrics.Table, *metrics.Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tc := newTopoCache()
 	return sweep("Fig 5: impact of K", "max replicas per dataset K",
 		cfg.KValues, cfg.Seeds, generalAlgos(),
 		func(seed int64, k int) (*placement.Problem, error) {
-			return instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
+			return tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, k, false)
 		})
 }
 

@@ -140,12 +140,15 @@ func BuildTestbedTopology(lat *testbed.LatencyModel, seed int64) *topology.Topol
 			g.AddEdge(graph.NodeID(u), graph.NodeID(v), oneWay)
 		}
 	}
-	return &topology.Topology{
+	top := &topology.Topology{
 		Graph:        g,
 		Nodes:        nodes,
 		ComputeNodes: compute,
-		Delays:       g.AllPairsShortestPaths(),
 	}
+	// Fill Delays through the topology's shared distance cache so routing
+	// and any later path reconstruction reuse the same Dijkstra trees.
+	top.Delays = top.DistanceCache().Matrix()
+	return top
 }
 
 // splitMix is a tiny deterministic PRNG so topology building does not pull
@@ -274,36 +277,44 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 		}
 	}
 
+	// The emulated topology depends only on the seed, never on the swept
+	// parameter: build each seed's once and reuse it across every x.
+	tops := make([]*topology.Topology, len(cfg.Seeds))
+	for si, seed := range cfg.Seeds {
+		tops[si] = BuildTestbedTopology(lat, seed)
+	}
+
 	for _, x := range xs {
 		f, k := params(x)
-		sums := map[string]*[2]float64{}
-		for _, a := range algos {
-			sums[a.Name] = &[2]float64{}
-		}
-		for si, seed := range cfg.Seeds {
-			top := BuildTestbedTopology(lat, seed)
+		type cell struct{ vol, tp float64 }
+		results := make([][]cell, len(cfg.Seeds)) // [seed][algo]
+		runSeed := func(si int, seed int64) error {
+			results[si] = make([]cell, len(algos))
+			top := tops[si]
 			w, err := testbedWorkload(top, seed, cfg.NumDatasets, cfg.NumQueries, f)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if split {
 				w = w.SplitSingleDataset()
 			}
-			for _, a := range algos {
-				p, err := placement.NewProblem(cluster.New(top), w, k)
-				if err != nil {
-					return nil, err
-				}
+			// One problem serves both algorithms: neither mutates it.
+			p, err := placement.NewProblem(cluster.New(top), w, k)
+			if err != nil {
+				return err
+			}
+			statInstances.Inc()
+			for ai, a := range algos {
 				sol, err := a.Run(p)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: %s x=%d seed=%d: %w", a.Name, x, seed, err)
+					return fmt.Errorf("experiments: %s x=%d seed=%d: %w", a.Name, x, seed, err)
 				}
-				sums[a.Name][0] += sol.Volume(p)
-				sums[a.Name][1] += sol.Throughput(p)
+				statAlgoRuns.Inc()
+				results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
 				if cfg.Execute && si == 0 {
 					stats, err := executeOnCluster(tc, p, sol, trace, cfg)
 					if err != nil {
-						return nil, fmt.Errorf("experiments: execute %s x=%d: %w", a.Name, x, err)
+						return fmt.Errorf("experiments: execute %s x=%d: %w", a.Name, x, err)
 					}
 					if res.Exec[a.Name] == nil {
 						res.Exec[a.Name] = make(map[int]ExecStats)
@@ -311,11 +322,28 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 					res.Exec[a.Name][x] = stats
 				}
 			}
+			return nil
+		}
+		if cfg.Execute {
+			// Real execution funnels through one TCP cluster; keep the
+			// model runs sequential so measured latencies stay comparable.
+			for si, seed := range cfg.Seeds {
+				if err := runSeed(si, seed); err != nil {
+					return nil, err
+				}
+			}
+		} else if err := forEachSeed(cfg.Seeds, runSeed); err != nil {
+			return nil, err
 		}
 		tick := fmt.Sprintf("%d", x)
-		for _, a := range algos {
-			res.Volume.AddPoint(a.Name, tick, sums[a.Name][0]/float64(len(cfg.Seeds)))
-			res.Throughput.AddPoint(a.Name, tick, sums[a.Name][1]/float64(len(cfg.Seeds)))
+		for ai, a := range algos {
+			var volSum, tpSum float64
+			for si := range cfg.Seeds {
+				volSum += results[si][ai].vol
+				tpSum += results[si][ai].tp
+			}
+			res.Volume.AddPoint(a.Name, tick, volSum/float64(len(cfg.Seeds)))
+			res.Throughput.AddPoint(a.Name, tick, tpSum/float64(len(cfg.Seeds)))
 		}
 	}
 	if err := res.Volume.Validate(); err != nil {

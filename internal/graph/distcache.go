@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"sync"
+
+	"edgerep/internal/instrument"
+)
+
+// Instrumentation of the shortest-path hot path (enabled via
+// instrument.Enable, surfaced by the cmd/ binaries' -stats flag).
+var (
+	dijkstraCalls   = instrument.NewCounter("graph.dijkstra_calls")
+	distCacheHits   = instrument.NewCounter("graph.distcache_hits")
+	distCacheMisses = instrument.NewCounter("graph.distcache_misses")
+	distCacheMatrix = instrument.NewCounter("graph.distcache_matrix_builds")
+	allPairsBuilds  = instrument.NewCounter("graph.allpairs_builds")
+)
+
+// DistanceCache memoizes per-source Dijkstra trees over one immutable Graph
+// and lazily materializes the all-pairs DistanceMatrix from them, so that
+// every consumer of network distances — the topology's delay matrix
+// (internal/topology), explicit path routing (internal/routing), partition
+// medoids (internal/partition via the matrix), and the placement algorithms
+// that read all of them — shares a single shortest-path computation per
+// source instead of re-running Dijkstra per package.
+//
+// The cache is safe for concurrent use. The graph must not gain edges after
+// the cache is created; Graph has no edge-removal API, and the topology
+// generators finish mutation before the cache is built.
+type DistanceCache struct {
+	g *Graph
+
+	mu sync.RWMutex
+	// sp[u] is the memoized Dijkstra tree from source u (nil = not yet
+	// computed). Trees keep their parent arrays, so routing path
+	// reconstruction is also served by the cache.
+	sp []*ShortestPaths
+	// matrix is the lazily-built all-pairs view over the same trees.
+	matrix *DistanceMatrix
+}
+
+// NewDistanceCache creates an empty cache over g.
+func NewDistanceCache(g *Graph) *DistanceCache {
+	return &DistanceCache{g: g, sp: make([]*ShortestPaths, len(g.adj))}
+}
+
+// Graph returns the underlying graph.
+func (c *DistanceCache) Graph() *Graph { return c.g }
+
+// Shortest returns the (memoized) Dijkstra tree rooted at src. Concurrent
+// callers racing on an uncomputed source may both run Dijkstra; the results
+// are identical (Dijkstra is deterministic) and one wins the write, so
+// callers always observe a correct tree.
+func (c *DistanceCache) Shortest(src NodeID) *ShortestPaths {
+	c.g.check(src)
+	c.mu.RLock()
+	sp := c.sp[src]
+	c.mu.RUnlock()
+	if sp != nil {
+		distCacheHits.Inc()
+		return sp
+	}
+	distCacheMisses.Inc()
+	sp = c.g.Dijkstra(src)
+	c.mu.Lock()
+	if existing := c.sp[src]; existing != nil {
+		sp = existing // a concurrent computation won; keep one canonical tree
+	} else {
+		c.sp[src] = sp
+	}
+	c.mu.Unlock()
+	return sp
+}
+
+// Between returns the shortest-path distance from u to v, Infinity when
+// disconnected. It computes (and memoizes) only the single-source tree of u.
+func (c *DistanceCache) Between(u, v NodeID) float64 {
+	c.g.check(v)
+	return c.Shortest(u).Dist[v]
+}
+
+// Matrix returns the all-pairs distance matrix, built once from the memoized
+// per-source trees (sources already computed — e.g. by routing — are not
+// recomputed) and cached for subsequent calls.
+func (c *DistanceCache) Matrix() *DistanceMatrix {
+	c.mu.RLock()
+	m := c.matrix
+	c.mu.RUnlock()
+	if m != nil {
+		distCacheHits.Inc()
+		return m
+	}
+	distCacheMatrix.Inc()
+	n := len(c.g.adj)
+	m = &DistanceMatrix{n: n, dist: make([]float64, n*n)}
+	for u := 0; u < n; u++ {
+		copy(m.dist[u*n:(u+1)*n], c.Shortest(NodeID(u)).Dist)
+	}
+	c.mu.Lock()
+	if c.matrix != nil {
+		m = c.matrix
+	} else {
+		c.matrix = m
+	}
+	c.mu.Unlock()
+	return m
+}

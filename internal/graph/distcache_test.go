@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"edgerep/internal/instrument"
+)
+
+// randomConnectedish builds a random graph in the shape of the repo's
+// two-tier topologies: a chain spine (so most of it is connected) plus iid
+// random links. It intentionally does NOT repair connectivity when
+// skipSpine is set, so disconnected pairs occur.
+func randomGraph(rng *rand.Rand, n int, p float64, spine bool) *Graph {
+	g := New(n)
+	if spine {
+		for i := 1; i < n; i++ {
+			g.AddEdge(NodeID(i-1), NodeID(i), 0.1+rng.Float64())
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(NodeID(u), NodeID(v)) {
+				continue
+			}
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(u), NodeID(v), 0.1+rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// TestDistanceCacheCoherence asserts the cache answers exactly what a fresh
+// Dijkstra answers, on 50 random topologies, for every (source, dest) pair —
+// the invariant that lets topology, routing, and experiments share one cache.
+func TestDistanceCacheCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for topo := 0; topo < 50; topo++ {
+		n := 5 + rng.Intn(40)
+		spine := topo%2 == 0 // half the topologies have disconnected parts
+		g := randomGraph(rng, n, 0.15, spine)
+		c := NewDistanceCache(g)
+		m := c.Matrix()
+		for u := 0; u < n; u++ {
+			fresh := g.Dijkstra(NodeID(u))
+			cached := c.Shortest(NodeID(u))
+			for v := 0; v < n; v++ {
+				if fresh.Dist[v] != cached.Dist[v] {
+					t.Fatalf("topo %d: cache dist %d→%d = %v, fresh = %v",
+						topo, u, v, cached.Dist[v], fresh.Dist[v])
+				}
+				if m.Between(NodeID(u), NodeID(v)) != fresh.Dist[v] {
+					t.Fatalf("topo %d: matrix %d→%d = %v, fresh = %v",
+						topo, u, v, m.Between(NodeID(u), NodeID(v)), fresh.Dist[v])
+				}
+				// Paths from the cached tree must be valid shortest paths.
+				if !math.IsInf(fresh.Dist[v], 1) {
+					if path := cached.PathTo(NodeID(v)); len(path) == 0 {
+						t.Fatalf("topo %d: no path %d→%d despite finite distance", topo, u, v)
+					}
+				}
+			}
+		}
+		// Matrix is built once and then served from cache.
+		if c.Matrix() != m {
+			t.Fatalf("topo %d: Matrix rebuilt instead of cached", topo)
+		}
+	}
+}
+
+// TestDistanceCacheConcurrent races many readers over one cache under the
+// race detector; all must observe identical canonical trees.
+func TestDistanceCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 60, 0.1, true)
+	c := NewDistanceCache(g)
+	want := g.Dijkstra(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := NodeID((w*50 + i) % g.NumNodes())
+				sp := c.Shortest(src)
+				if sp.Source != src {
+					t.Errorf("tree source %d, want %d", sp.Source, src)
+				}
+				_ = c.Matrix()
+				if d := c.Between(0, NodeID(i%g.NumNodes())); d != want.Dist[i%g.NumNodes()] {
+					t.Errorf("Between(0,%d) = %v, want %v", i%g.NumNodes(), d, want.Dist[i%g.NumNodes()])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDistanceCacheStats checks the hit/miss accounting the -stats flag and
+// BENCH reports surface.
+func TestDistanceCacheStats(t *testing.T) {
+	instrument.Reset()
+	instrument.Enable()
+	defer instrument.Disable()
+	defer instrument.Reset()
+
+	g := randomGraph(rand.New(rand.NewSource(3)), 20, 0.2, true)
+	c := NewDistanceCache(g)
+	c.Shortest(0) // miss
+	c.Shortest(0) // hit
+	c.Shortest(1) // miss
+	snap := instrument.Snapshot()
+	if snap["graph.distcache_misses"] != 2 {
+		t.Fatalf("misses = %d, want 2", snap["graph.distcache_misses"])
+	}
+	if snap["graph.distcache_hits"] != 1 {
+		t.Fatalf("hits = %d, want 1", snap["graph.distcache_hits"])
+	}
+	if snap["graph.dijkstra_calls"] != 2 {
+		t.Fatalf("dijkstra calls = %d, want 2", snap["graph.dijkstra_calls"])
+	}
+}
+
+// TestDisconnectedSentinels is the regression test for the documented
+// disconnected-pair behavior on a transit-stub-shaped topology whose two
+// stub domains are NOT bridged: Between must return math.Inf(1) (never a
+// finite stand-in), PathTo must return nil, and Medoid must stay
+// deterministic, preferring members that reach the most peers.
+func TestDisconnectedSentinels(t *testing.T) {
+	// Two stub domains of 3 nodes each around their own transit node, with
+	// no link between the domains — a disconnected transit-stub layout.
+	g := New(8)
+	// Domain A: transit 0, stubs 1,2,3.
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 4)
+	g.AddEdge(1, 2, 1)
+	// Domain B: transit 4, stubs 5,6,7.
+	g.AddEdge(4, 5, 2)
+	g.AddEdge(4, 6, 2)
+	g.AddEdge(5, 6, 1)
+	g.AddEdge(6, 7, 2)
+
+	m := g.AllPairsShortestPaths()
+	cache := NewDistanceCache(g)
+
+	for _, u := range []NodeID{0, 1, 2, 3} {
+		for _, v := range []NodeID{4, 5, 6, 7} {
+			if d := m.Between(u, v); !math.IsInf(d, 1) {
+				t.Fatalf("matrix Between(%d,%d) = %v, want +Inf sentinel", u, v, d)
+			}
+			if d := cache.Between(u, v); !math.IsInf(d, 1) {
+				t.Fatalf("cache Between(%d,%d) = %v, want +Inf sentinel", u, v, d)
+			}
+			if p := cache.Shortest(u).PathTo(v); p != nil {
+				t.Fatalf("PathTo(%d→%d) = %v, want nil", u, v, p)
+			}
+		}
+	}
+
+	// Within-domain distances stay finite.
+	if d := m.Between(1, 3); math.IsInf(d, 1) {
+		t.Fatalf("Between(1,3) infinite on connected pair")
+	}
+
+	// Medoid across the split: members of the larger reachable clique win.
+	// {1,2,5,6,7}: nodes 5,6,7 reach two peers each plus themselves; 1,2
+	// reach one peer plus themselves. 6 has the smallest finite sum
+	// (d(6,5)=1, d(6,7)=2) vs 5 (1+3=4) and 7 (2+3=5).
+	if got := m.Medoid([]NodeID{1, 2, 5, 6, 7}); got != 6 {
+		t.Fatalf("Medoid over split set = %d, want 6", got)
+	}
+	// All-disconnected degenerate set: deterministic smallest-reach tie →
+	// falls back to first-seen member with best (reach, sum) — both
+	// members reach only themselves with sum 0, so the smaller ID wins.
+	if got := m.Medoid([]NodeID{3, 7}); got != 3 {
+		t.Fatalf("Medoid over fully split pair = %d, want 3", got)
+	}
+	// Connected sets are unchanged by the disconnected-set rules.
+	if got := m.Medoid([]NodeID{0, 1, 2, 3}); got != 0 {
+		t.Fatalf("Medoid of domain A = %d, want 0", got)
+	}
+}

@@ -38,8 +38,12 @@ type ShortestPaths struct {
 
 // Dijkstra computes shortest paths from src using a binary heap; it runs in
 // O((V+E) log V). Unreachable nodes have distance Infinity.
+//
+// Callers that resolve many sources over one graph should go through a
+// DistanceCache instead, which memoizes these trees.
 func (g *Graph) Dijkstra(src NodeID) *ShortestPaths {
 	g.check(src)
+	dijkstraCalls.Inc()
 	n := len(g.adj)
 	sp := &ShortestPaths{
 		Source: src,
@@ -93,7 +97,12 @@ type DistanceMatrix struct {
 // AllPairsShortestPaths runs Dijkstra from every node. For the sparse delay
 // graphs used here this is cheaper and simpler than Floyd–Warshall at the
 // same asymptotic cost for dense graphs.
+//
+// Each call recomputes the full matrix. Long-lived consumers (topologies,
+// routers, experiments) should share a DistanceCache and call its Matrix
+// method, which builds the matrix once from memoized per-source trees.
 func (g *Graph) AllPairsShortestPaths() *DistanceMatrix {
+	allPairsBuilds.Inc()
 	n := len(g.adj)
 	m := &DistanceMatrix{n: n, dist: make([]float64, n*n)}
 	for u := 0; u < n; u++ {
@@ -106,8 +115,11 @@ func (g *Graph) AllPairsShortestPaths() *DistanceMatrix {
 // NumNodes returns the node count the matrix was built for.
 func (m *DistanceMatrix) NumNodes() int { return m.n }
 
-// Between returns the shortest-path distance between u and v
-// (Infinity when disconnected).
+// Between returns the shortest-path distance between u and v. Disconnected
+// pairs return the documented sentinel math.Inf(1) (== Infinity), never an
+// arbitrary large finite value: callers compare against deadlines, and a
+// disconnected pair must fail every deadline check rather than almost all of
+// them.
 func (m *DistanceMatrix) Between(u, v NodeID) float64 {
 	return m.dist[int(u)*m.n+int(v)]
 }
@@ -127,18 +139,33 @@ func (m *DistanceMatrix) Eccentricity(u NodeID) float64 {
 // Medoid returns the member of the given set minimizing the sum of distances
 // to all other members; ties break toward the smaller ID. It panics on an
 // empty set because a medoid of nothing indicates a caller bug.
+//
+// Disconnected sets are handled deterministically: members contribute
+// Between's math.Inf(1) sentinel for each unreachable peer, so the medoid is
+// the member reaching the most peers, breaking ties by the finite distance sum
+// over the peers it does reach, then by smaller ID. On connected sets (every
+// topology the generators emit, since they repair connectivity) the result
+// is identical to the plain minimum-sum medoid.
 func (m *DistanceMatrix) Medoid(set []NodeID) NodeID {
 	if len(set) == 0 {
 		panic("graph: medoid of empty set")
 	}
-	best, bestSum := set[0], math.Inf(1)
+	best := set[0]
+	bestReach, bestSum := -1, math.Inf(1)
 	for _, u := range set {
-		sum := 0.0
+		reach, sum := 0, 0.0
 		for _, v := range set {
-			sum += m.Between(u, v)
+			d := m.Between(u, v)
+			if math.IsInf(d, 1) {
+				continue // unreachable peer: excluded from the finite sum
+			}
+			reach++
+			sum += d
 		}
-		if sum < bestSum || (sum == bestSum && u < best) {
-			best, bestSum = u, sum
+		if reach > bestReach ||
+			(reach == bestReach && sum < bestSum) ||
+			(reach == bestReach && sum == bestSum && u < best) {
+			best, bestReach, bestSum = u, reach, sum
 		}
 	}
 	return best

@@ -1,0 +1,191 @@
+// Package instrument provides the lightweight runtime counters and timers
+// behind the repository's performance observability: Dijkstra invocations and
+// distance-cache hit rates (internal/graph), dual-ascent rounds, priced
+// bundles and per-phase admissions (internal/core), and instance-build reuse
+// in the figure drivers (internal/experiments). It is not part of the paper's
+// model; it exists so that every hot path named in ARCHITECTURE.md has a
+// number attached to it and every PR has a machine-readable baseline to beat
+// (see BenchReport and BENCH_pr1.json).
+//
+// Collection is globally gated: when disabled (the default) every Add/Inc/
+// Observe is a single atomic load and a branch — zero allocations, no locks —
+// so instrumented hot paths cost nothing in production runs. Enable it with
+// Enable() (the cmd/ binaries expose this as -stats).
+//
+// Counters are process-global and registered once at package init of their
+// owning package. Snapshot and Reset make them usable from tests and from the
+// CLI summary printers without plumbing a registry through every call site.
+package instrument
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all collection. Counters still exist when disabled; they just
+// refuse updates so the hot paths stay free.
+var enabled atomic.Bool
+
+// Enable turns collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns collection off process-wide.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// registry holds every metric ever created, keyed by name.
+var registry struct {
+	sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// Counter is a monotonically-increasing event count, safe for concurrent
+// use. The zero Counter is unregistered but usable.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter creates (or returns the existing) registered counter with the
+// given name. Names are dotted paths, e.g. "graph.dijkstra_calls".
+func NewCounter(name string) *Counter {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.counters == nil {
+		registry.counters = make(map[string]*Counter)
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// Inc adds 1 when collection is enabled.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name ("" for unregistered zero Counters).
+func (c *Counter) Name() string { return c.name }
+
+// Timer accumulates durations (total nanoseconds and observation count),
+// safe for concurrent use.
+type Timer struct {
+	name  string
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// NewTimer creates (or returns the existing) registered timer.
+func NewTimer(name string) *Timer {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.timers == nil {
+		registry.timers = make(map[string]*Timer)
+	}
+	if t, ok := registry.timers[name]; ok {
+		return t
+	}
+	t := &Timer{name: name}
+	registry.timers[name] = t
+	return t
+}
+
+// Observe records one duration when collection is enabled.
+func (t *Timer) Observe(d time.Duration) {
+	if enabled.Load() {
+		t.ns.Add(int64(d))
+		t.count.Add(1)
+	}
+}
+
+// Time runs fn, recording its wall-clock duration when collection is
+// enabled.
+func (t *Timer) Time(fn func()) {
+	if !enabled.Load() {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// TotalNs returns the accumulated nanoseconds.
+func (t *Timer) TotalNs() int64 { return t.ns.Load() }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Snapshot returns the current value of every registered counter plus, per
+// timer, "<name>.ns" and "<name>.count" entries.
+func Snapshot() map[string]int64 {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make(map[string]int64, len(registry.counters)+2*len(registry.timers))
+	for name, c := range registry.counters {
+		out[name] = c.Value()
+	}
+	for name, t := range registry.timers {
+		out[name+".ns"] = t.TotalNs()
+		out[name+".count"] = t.Count()
+	}
+	return out
+}
+
+// Reset zeroes every registered counter and timer.
+func Reset() {
+	registry.Lock()
+	defer registry.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, t := range registry.timers {
+		t.ns.Store(0)
+		t.count.Store(0)
+	}
+}
+
+// Ratio returns a/(a+b) as a float (0 when both are zero) — the hit-rate
+// helper for paired hit/miss counters.
+func Ratio(a, b int64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
+
+// FormatSnapshot renders a snapshot sorted by name, one "name value" line
+// per metric — the output of the cmd/ binaries' -stats flag.
+func FormatSnapshot(snap map[string]int64) string {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, n := range names {
+		b = append(b, fmt.Sprintf("%-40s %d\n", n, snap[n])...)
+	}
+	return string(b)
+}

@@ -1,0 +1,140 @@
+package instrument
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and checks
+// the total — the counters sit on shared hot paths (DistanceCache, the
+// parallel sweep workers) and must not lose updates.
+func TestCounterConcurrent(t *testing.T) {
+	Enable()
+	defer Disable()
+	defer Reset()
+	c := NewCounter("test.concurrent")
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("lost updates: got %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestDisabledZeroAlloc asserts the disabled-mode invariant the package
+// promises: instrumenting a hot path costs zero allocations when collection
+// is off.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Disable()
+	defer Reset()
+	c := NewCounter("test.disabled")
+	tm := NewTimer("test.disabled_timer")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		tm.Observe(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f per run, want 0", allocs)
+	}
+	if c.Value() != 0 || tm.Count() != 0 {
+		t.Fatalf("disabled instrumentation recorded values: counter=%d timer=%d",
+			c.Value(), tm.Count())
+	}
+}
+
+// TestEnableDisableSnapshotReset covers the registry lifecycle.
+func TestEnableDisableSnapshotReset(t *testing.T) {
+	defer Disable()
+	defer Reset()
+	Reset()
+	c := NewCounter("test.lifecycle")
+	if NewCounter("test.lifecycle") != c {
+		t.Fatal("NewCounter with same name returned a different counter")
+	}
+	Enable()
+	c.Add(7)
+	tm := NewTimer("test.lifecycle_timer")
+	tm.Observe(2 * time.Second)
+	tm.Time(func() {})
+	snap := Snapshot()
+	if snap["test.lifecycle"] != 7 {
+		t.Fatalf("snapshot counter = %d, want 7", snap["test.lifecycle"])
+	}
+	if snap["test.lifecycle_timer.count"] != 2 {
+		t.Fatalf("snapshot timer count = %d, want 2", snap["test.lifecycle_timer.count"])
+	}
+	if tm.TotalNs() < int64(2*time.Second) {
+		t.Fatalf("timer total %d below observed duration", tm.TotalNs())
+	}
+	if s := FormatSnapshot(snap); s == "" {
+		t.Fatal("empty formatted snapshot")
+	}
+	Reset()
+	if c.Value() != 0 || tm.Count() != 0 {
+		t.Fatal("Reset did not zero metrics")
+	}
+}
+
+// TestRatio checks the hit-rate helper including the 0/0 case.
+func TestRatio(t *testing.T) {
+	if r := Ratio(0, 0); r != 0 {
+		t.Fatalf("Ratio(0,0) = %v, want 0", r)
+	}
+	if r := Ratio(3, 1); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("Ratio(3,1) = %v, want 0.75", r)
+	}
+}
+
+// TestBenchReportRoundTrip writes and re-reads a report and checks the
+// derived speedup arithmetic.
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := &BenchReport{
+		PR:          "prtest",
+		GoVersion:   "go1.24",
+		Host:        "test",
+		GeneratedBy: "go test",
+		Entries: []BenchEntry{{
+			Name:            "fig2_quick",
+			Iterations:      3,
+			NsPerOp:         50e6,
+			AllocsPerOp:     1000,
+			BaselineNsPerOp: 150e6,
+			Counters:        map[string]float64{"graph.dijkstra_calls": 42},
+			Derived:         map[string]float64{"cache_hit_rate": 0.9},
+		}},
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(got.Entries))
+	}
+	if math.Abs(got.Entries[0].Speedup-3.0) > 1e-9 {
+		t.Fatalf("speedup = %v, want 3.0", got.Entries[0].Speedup)
+	}
+	// The file must stay valid JSON for external tooling.
+	var anyJSON map[string]interface{}
+	data, _ := json.Marshal(got)
+	if err := json.Unmarshal(data, &anyJSON); err != nil {
+		t.Fatal(err)
+	}
+}

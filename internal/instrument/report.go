@@ -1,0 +1,82 @@
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchEntry is one measured workload inside a BenchReport. NsPerOp /
+// AllocsPerOp / BytesPerOp carry the standard Go benchmark metrics;
+// Counters carries the instrument snapshot taken across the measured run
+// (per-op values, i.e. divided by the iteration count); Derived carries
+// computed indicators such as cache hit rates.
+type BenchEntry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Counters    map[string]float64 `json:"counters,omitempty"`
+	Derived     map[string]float64 `json:"derived,omitempty"`
+	// BaselineNsPerOp is the same workload measured at the previous PR's
+	// tree (0 when no baseline exists yet); Speedup = baseline/current.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// BenchReport is the machine-readable perf trajectory artifact committed as
+// BENCH_<pr>.json. Every PR regenerates it (see EXPERIMENTS.md,
+// "Reproducing the numbers") so the next PR has a baseline to beat.
+type BenchReport struct {
+	// PR names the change the report belongs to, e.g. "pr1".
+	PR string `json:"pr"`
+	// GoVersion and Host describe the measurement environment.
+	GoVersion string `json:"go_version"`
+	Host      string `json:"host"`
+	// GeneratedBy is the exact command that regenerates this file.
+	GeneratedBy string       `json:"generated_by"`
+	Date        string       `json:"date,omitempty"`
+	Entries     []BenchEntry `json:"entries"`
+}
+
+// FinishEntry fills the derived speedup fields of an entry.
+func (e *BenchEntry) FinishEntry() {
+	if e.BaselineNsPerOp > 0 && e.NsPerOp > 0 {
+		e.Speedup = e.BaselineNsPerOp / e.NsPerOp
+	}
+}
+
+// WriteFile marshals the report with stable indentation to path.
+func (r *BenchReport) WriteFile(path string) error {
+	for i := range r.Entries {
+		r.Entries[i].FinishEntry()
+	}
+	if r.Date == "" {
+		r.Date = time.Now().UTC().Format("2006-01-02")
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("instrument: marshal bench report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("instrument: write bench report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport loads a previously written report, for cross-PR comparisons.
+func ReadReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: read bench report: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("instrument: parse bench report %s: %w", path, err)
+	}
+	return &r, nil
+}

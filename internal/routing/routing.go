@@ -47,25 +47,24 @@ func (p Path) Hops() int {
 	return len(p.Nodes) - 1
 }
 
-// Router resolves shortest paths over a topology, caching per-source trees.
+// Router resolves shortest paths over a topology through the topology's
+// shared graph.DistanceCache, so the Dijkstra trees that built the delay
+// matrix also serve path reconstruction — no per-router recomputation.
 type Router struct {
 	top   *topology.Topology
-	trees map[graph.NodeID]*graph.ShortestPaths
+	cache *graph.DistanceCache
 }
 
 // NewRouter builds a Router for a topology.
 func NewRouter(top *topology.Topology) *Router {
-	return &Router{top: top, trees: make(map[graph.NodeID]*graph.ShortestPaths)}
+	return &Router{top: top, cache: top.DistanceCache()}
 }
 
 // Path returns the shortest path from src to dst. Paths from the same
-// source share one Dijkstra tree, so repeated lookups are cheap.
+// source share one memoized Dijkstra tree, so repeated lookups are cheap;
+// trees are shared with every other consumer of the topology's distances.
 func (r *Router) Path(src, dst graph.NodeID) (Path, error) {
-	tree, ok := r.trees[src]
-	if !ok {
-		tree = r.top.Graph.Dijkstra(src)
-		r.trees[src] = tree
-	}
+	tree := r.cache.Shortest(src)
 	nodes := tree.PathTo(dst)
 	if nodes == nil {
 		return Path{}, fmt.Errorf("routing: no path from %d to %d", src, dst)

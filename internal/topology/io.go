@@ -120,7 +120,6 @@ func Load(r io.Reader) (*Topology, error) {
 		Graph:        g,
 		Nodes:        nodes,
 		ComputeNodes: compute,
-		Delays:       g.AllPairsShortestPaths(),
 	}
-	return top, nil
+	return top.finish(), nil
 }

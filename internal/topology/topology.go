@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"edgerep/internal/graph"
 )
@@ -68,6 +69,31 @@ type Topology struct {
 	ComputeNodes []graph.NodeID
 	// Delays holds all-pairs shortest-path transmission delays per GB.
 	Delays *graph.DistanceMatrix
+
+	// cache memoizes per-source Dijkstra trees over Graph; it backs Delays
+	// and is shared with routing so path reconstruction reuses the trees
+	// the delay matrix was built from. Lazily created by DistanceCache.
+	cacheOnce sync.Once
+	cache     *graph.DistanceCache
+}
+
+// DistanceCache returns the topology's shared shortest-path cache, creating
+// it on first use. All distance consumers (the Delays matrix, routing,
+// experiments) should resolve paths through this cache instead of running
+// their own Dijkstra, so each source is computed at most once per topology.
+// Safe for concurrent use.
+func (t *Topology) DistanceCache() *graph.DistanceCache {
+	t.cacheOnce.Do(func() {
+		t.cache = graph.NewDistanceCache(t.Graph)
+	})
+	return t.cache
+}
+
+// finish populates the derived fields of a freshly-constructed topology:
+// the shared distance cache and the all-pairs delay matrix built from it.
+func (t *Topology) finish() *Topology {
+	t.Delays = t.DistanceCache().Matrix()
+	return t
 }
 
 // Config controls topology generation. Defaults mirror the paper: 6 data
@@ -271,12 +297,12 @@ func Generate(c Config) (*Topology, error) {
 
 	g.Connect(c.LinkDelayMax * c.WANDelayFactor)
 
-	return &Topology{
+	top := &Topology{
 		Graph:        g,
 		Nodes:        nodes,
 		ComputeNodes: compute,
-		Delays:       g.AllPairsShortestPaths(),
-	}, nil
+	}
+	return top.finish(), nil
 }
 
 // MustGenerate is Generate panicking on configuration errors; for tests and

@@ -168,10 +168,10 @@ func GenerateTransitStub(c TransitStubConfig) (*Topology, error) {
 
 	g.Connect(c.LinkDelayMax * c.WANDelayFactor)
 
-	return &Topology{
+	top := &Topology{
 		Graph:        g,
 		Nodes:        nodes,
 		ComputeNodes: compute,
-		Delays:       g.AllPairsShortestPaths(),
-	}, nil
+	}
+	return top.finish(), nil
 }
