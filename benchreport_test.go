@@ -21,6 +21,7 @@ import (
 	"edgerep/internal/core"
 	"edgerep/internal/experiments"
 	"edgerep/internal/instrument"
+	"edgerep/internal/lint"
 )
 
 var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr1.json")
@@ -178,6 +179,34 @@ func TestWriteBenchReport(t *testing.T) {
 			"core.scratch_allocs", "core.scratch_reuses"),
 		BaselineNsPerOp:     seedApproGNsPerOp,
 		BaselineAllocsPerOp: seedApproGAllocsPerOp,
+	}
+	report.Entries = append(report.Entries, e)
+
+	// The static-analysis gate: parse the whole tree and run every analyzer.
+	// Besides timing, this records the analyzer/finding counts in the report
+	// and refuses to regenerate it from a tree that fails the gate.
+	vet := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			repo, err := lint.Load(".")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if findings := repo.Run(lint.Analyzers()); len(findings) > 0 {
+				b.Fatalf("repo fails its own lint gate: %v", findings[0])
+			}
+		}
+	}
+	r, snap = measure(t, vet)
+	e = instrument.BenchEntry{
+		Name:        "EdgerepvetRepoScan",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Counters: counters(snap,
+			"lint.analyzers_run", "lint.files_scanned", "lint.findings"),
 	}
 	report.Entries = append(report.Entries, e)
 

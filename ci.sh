@@ -1,5 +1,6 @@
 #!/bin/sh
-# Repository gate: formatting, vet, build, race-enabled tests, bench smoke.
+# Repository gate: formatting, vet, repo-specific analyzers (edgerepvet),
+# build, race-enabled tests, bench smoke.
 # Run before every commit. See ARCHITECTURE.md, "CI".
 set -eu
 
@@ -15,6 +16,9 @@ fi
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== edgerepvet ./... (repo-specific analyzers; -stats records analyzer/finding counts)"
+go run ./cmd/edgerepvet -stats ./...
 
 echo "== go build ./..."
 go build ./...

@@ -61,7 +61,9 @@ func main() {
 			fail(err2)
 		}
 		top, err = topology.Load(fh)
-		fh.Close()
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -83,7 +85,9 @@ func main() {
 			fail(err2)
 		}
 		w, err = workload.LoadWorkload(fh)
-		fh.Close()
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -133,7 +137,9 @@ func main() {
 			fail(err)
 		}
 		old, err := placement.Load(fh)
-		fh.Close()
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,92 @@
+// Command edgerepvet runs the repository's static-analysis pass
+// (internal/lint): repo-specific analyzers that enforce the paper's
+// feasibility hot-path conventions and the determinism contract — seeded
+// randomness, distances via graph.DistanceCache, the graph.Infinity
+// sentinel, no dropped errors, package-level instrument metrics.
+//
+// Usage:
+//
+//	edgerepvet ./...          # analyze the tree rooted at the current dir
+//	edgerepvet -list          # print the analyzers and what they enforce
+//	edgerepvet -stats ./...   # also print the gate counters to stderr
+//
+// Findings print as file:line:col: analyzer: message; the exit status is 1
+// when any finding is reported, so the command slots into ci.sh between
+// `go vet` and `go build`. The same pass runs in-tree as TestLintRepo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/lint"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		stats = flag.Bool("stats", false, "print gate counters (analyzers run, files scanned, findings) to stderr on exit")
+	)
+	flag.Parse()
+	if *stats {
+		instrument.Enable()
+	}
+	code := run(*list, *only, flag.Args())
+	if *stats {
+		fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+	}
+	os.Exit(code)
+}
+
+func run(list bool, only string, roots []string) int {
+	if list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "edgerepvet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	// Arguments are roots to walk; "./..." and "." both mean the current
+	// tree, matching the go tool's pattern syntax for the common case.
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	failed := false
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		repo, err := lint.Load(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepvet: %v\n", err)
+			return 2
+		}
+		for _, f := range repo.Run(analyzers) {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
+	"edgerep/internal/invariant"
 	"edgerep/internal/placement"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
@@ -52,6 +53,9 @@ func TestAllBaselinesFeasibleGeneral(t *testing.T) {
 			if err := sol.Validate(p); err != nil {
 				t.Fatalf("%s-G infeasible: %v", a.name, err)
 			}
+			if err := invariant.CheckSolution(p, sol, sol.Volume(p)); err != nil {
+				t.Fatalf("%s-G violates paper invariants: %v", a.name, err)
+			}
 			if len(sol.Admitted) == 0 {
 				t.Fatalf("%s-G admitted nothing on routine instance", a.name)
 			}
@@ -69,6 +73,9 @@ func TestAllBaselinesFeasibleSpecial(t *testing.T) {
 			}
 			if err := sol.Validate(p); err != nil {
 				t.Fatalf("%s-S infeasible: %v", a.name, err)
+			}
+			if err := invariant.CheckSolution(p, sol, sol.Volume(p)); err != nil {
+				t.Fatalf("%s-S violates paper invariants: %v", a.name, err)
 			}
 		})
 	}
@@ -221,6 +228,10 @@ func TestBaselinesAlwaysFeasibleProperty(t *testing.T) {
 				return false
 			}
 			if err := sol.Validate(p); err != nil {
+				return false
+			}
+			if err := invariant.CheckSolution(p, sol, sol.Volume(p)); err != nil {
+				t.Logf("%s-G invariant: %v", a.name, err)
 				return false
 			}
 		}

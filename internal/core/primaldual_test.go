@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"edgerep/internal/cluster"
+	"edgerep/internal/invariant"
 	"edgerep/internal/placement"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
@@ -70,6 +71,9 @@ func TestApproSFeasibleAndAdmitsSomething(t *testing.T) {
 	if err := res.Solution.Validate(p); err != nil {
 		t.Fatalf("ApproS solution infeasible: %v", err)
 	}
+	if err := invariant.CheckSolution(p, res.Solution, res.Solution.Volume(p)); err != nil {
+		t.Fatalf("ApproS violates paper invariants: %v", err)
+	}
 	if len(res.Solution.Admitted) == 0 {
 		t.Fatal("ApproS admitted nothing on a routine instance")
 	}
@@ -90,6 +94,9 @@ func TestApproGFeasibleAndAdmitsSomething(t *testing.T) {
 	}
 	if err := res.Solution.Validate(p); err != nil {
 		t.Fatalf("ApproG solution infeasible: %v", err)
+	}
+	if err := invariant.CheckSolution(p, res.Solution, res.Solution.Volume(p)); err != nil {
+		t.Fatalf("ApproG violates paper invariants: %v", err)
 	}
 	if len(res.Solution.Admitted) == 0 {
 		t.Fatal("ApproG admitted nothing on a routine instance")
@@ -209,6 +216,9 @@ func TestArbitraryOrderStillFeasible(t *testing.T) {
 	if err := res.Solution.Validate(p); err != nil {
 		t.Fatalf("arbitrary-order solution infeasible: %v", err)
 	}
+	if err := invariant.CheckSolution(p, res.Solution, res.Solution.Volume(p)); err != nil {
+		t.Fatalf("arbitrary-order solution violates paper invariants: %v", err)
+	}
 }
 
 func TestOptionsDefaults(t *testing.T) {
@@ -240,6 +250,10 @@ func TestApproGAlwaysFeasibleProperty(t *testing.T) {
 			return false
 		}
 		if err := res.Solution.Validate(p); err != nil {
+			return false
+		}
+		if err := invariant.CheckSolution(p, res.Solution, res.Solution.Volume(p)); err != nil {
+			t.Logf("invariant: %v", err)
 			return false
 		}
 		return res.Solution.Volume(p) <= p.UpperBoundVolume()+1e-9

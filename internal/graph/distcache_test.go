@@ -99,6 +99,47 @@ func TestDistanceCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestDistanceCacheColdMatrixConcurrent starts many goroutines on a cold
+// cache so they all race the first Matrix() materialization: every caller
+// must receive the one canonical *DistanceMatrix (not a private rebuild),
+// and its entries must match fresh Dijkstra runs. Run under -race (ci.sh
+// does).
+func TestDistanceCacheColdMatrixConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(rng, 40, 0.1, trial%2 == 0)
+		c := NewDistanceCache(g)
+		const workers = 16
+		mats := make([]*DistanceMatrix, workers)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer done.Done()
+				start.Wait() // line everyone up on the cold cache
+				mats[w] = c.Matrix()
+			}(w)
+		}
+		start.Done()
+		done.Wait()
+		for w := 1; w < workers; w++ {
+			if mats[w] != mats[0] {
+				t.Fatalf("trial %d: worker %d got a non-canonical matrix", trial, w)
+			}
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			fresh := g.Dijkstra(NodeID(u))
+			for v := 0; v < g.NumNodes(); v++ {
+				if got := mats[0].Between(NodeID(u), NodeID(v)); got != fresh.Dist[v] {
+					t.Fatalf("trial %d: raced matrix %d→%d = %v, fresh = %v",
+						trial, u, v, got, fresh.Dist[v])
+				}
+			}
+		}
+	}
+}
+
 // TestDistanceCacheStats checks the hit/miss accounting the -stats flag and
 // BENCH reports surface.
 func TestDistanceCacheStats(t *testing.T) {

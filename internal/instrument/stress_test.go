@@ -1,0 +1,135 @@
+package instrument
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersUnderContention hammers one counter and one timer from
+// GOMAXPROCS goroutines and demands exact totals — the atomics must neither
+// drop nor double-count updates. Run under -race (ci.sh does).
+func TestCountersUnderContention(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	defer Reset()
+
+	c := NewCounter("stress.events")
+	tm := NewTimer("stress.latency")
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 10_000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				tm.Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantCount := int64(workers) * perWorker
+	if got := c.Value(); got != 3*wantCount {
+		t.Fatalf("counter = %d, want %d", got, 3*wantCount)
+	}
+	if got := tm.Count(); got != wantCount {
+		t.Fatalf("timer count = %d, want %d", got, wantCount)
+	}
+	if got := tm.TotalNs(); got != wantCount {
+		t.Fatalf("timer total = %dns, want %d", got, wantCount)
+	}
+}
+
+// TestRegistryConcurrentRegistration races NewCounter/NewTimer on the same
+// names: every caller must get the one canonical metric, never a fresh
+// shadow whose updates would be lost from Snapshot.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	defer Reset()
+
+	const workers = 16
+	counters := make([]*Counter, workers)
+	timers := make([]*Timer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counters[w] = NewCounter("stress.shared_counter")
+			timers[w] = NewTimer("stress.shared_timer")
+			counters[w].Inc()
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if counters[w] != counters[0] {
+			t.Fatalf("worker %d got a distinct *Counter for the same name", w)
+		}
+		if timers[w] != timers[0] {
+			t.Fatalf("worker %d got a distinct *Timer for the same name", w)
+		}
+	}
+	if got := counters[0].Value(); got != workers {
+		t.Fatalf("shared counter = %d, want %d (updates lost to a shadow?)", got, workers)
+	}
+}
+
+// TestSnapshotDuringUpdates interleaves Snapshot/Reset/FormatSnapshot with
+// live updates and enable/disable flips; the assertions are monotonicity and
+// race-freedom, not exact values.
+func TestSnapshotDuringUpdates(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	defer Reset()
+
+	c := NewCounter("stress.snap")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if i%10 == 0 {
+				Disable()
+				Enable()
+			}
+			_ = FormatSnapshot(Snapshot())
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	prev := int64(-1)
+	for i := 0; i < 50; i++ {
+		v := Snapshot()["stress.snap"]
+		if v < prev {
+			t.Fatalf("counter went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	close(stop)
+	wg.Wait()
+}

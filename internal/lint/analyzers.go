@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// graphPkg is the one directory allowed to run raw shortest-path code and to
+// compare raw float distances: it owns the Dijkstra implementation, the
+// DistanceCache, and the Infinity sentinel, and its tests assert cache
+// coherence against fresh runs.
+const graphPkg = "internal/graph"
+
+// --- seededrand -------------------------------------------------------------
+
+// seededRand enforces the determinism contract (CHANGES.md PR 1: every RNG
+// seeded from config, goldens bit-identical): every rand.New / rand.NewSource
+// argument must trace to a config Seed field, a seed-named variable, or an
+// integer literal — never time.Now() or another opaque call.
+var seededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "rand.New/rand.NewSource must be seeded from a config Seed field or literal, never wall-clock time",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			randName := importName(f.AST, "math/rand")
+			if randName == "" {
+				randName = importName(f.AST, "math/rand/v2")
+			}
+			if randName == "" {
+				continue
+			}
+			timeName := importName(f.AST, "time")
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || x.Name != randName {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "NewSource", "NewPCG", "NewChaCha8":
+					for _, arg := range call.Args {
+						if usesWallClock(arg, timeName) {
+							out = append(out, Finding{Pos: r.pos(arg), Analyzer: "seededrand",
+								Message: "RNG seeded from time.Now(); seed from a config Seed field so runs stay bit-identical"})
+						} else if !isSeedExpr(arg) {
+							out = append(out, Finding{Pos: r.pos(arg), Analyzer: "seededrand",
+								Message: fmt.Sprintf("RNG seed %q does not trace to a Seed field or literal", exprString(arg))})
+						}
+					}
+				case "New":
+					// The source argument is fine when it is a variable (its
+					// creation site is checked where it was made) or a nested
+					// rand.NewSource call (visited by this same walk). Any
+					// other call hides the seed's provenance.
+					for _, arg := range call.Args {
+						inner, isCall := arg.(*ast.CallExpr)
+						if !isCall {
+							continue
+						}
+						if s, ok := inner.Fun.(*ast.SelectorExpr); ok {
+							if ix, ok := s.X.(*ast.Ident); ok && ix.Name == randName {
+								continue // rand.New(rand.NewSource(...)): inner call checked above
+							}
+						}
+						out = append(out, Finding{Pos: r.pos(arg), Analyzer: "seededrand",
+							Message: fmt.Sprintf("rand.New source %q hides its seed; construct the source from a config Seed field", exprString(arg))})
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// isSeedExpr reports whether e visibly traces to a seed: an integer literal,
+// an identifier or selector whose name contains "seed" (case-insensitive),
+// or integer arithmetic / conversions over such expressions.
+func isSeedExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT || v.Kind == token.FLOAT || v.Kind == token.CHAR
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(v.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(v.Sel.Name), "seed")
+	case *ast.ParenExpr:
+		return isSeedExpr(v.X)
+	case *ast.UnaryExpr:
+		return isSeedExpr(v.X)
+	case *ast.BinaryExpr:
+		// Mixing a seed with an offset (seed + int64(i)) is still seed-derived;
+		// wall-clock use anywhere in the expression is caught by usesWallClock
+		// before this heuristic runs.
+		return isSeedExpr(v.X) || isSeedExpr(v.Y)
+	case *ast.IndexExpr:
+		return isSeedExpr(v.X)
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && len(v.Args) == 1 && isIntegerConversion(id.Name) {
+			return isSeedExpr(v.Args[0])
+		}
+		if s, ok := v.Fun.(*ast.SelectorExpr); ok {
+			return strings.Contains(strings.ToLower(s.Sel.Name), "seed")
+		}
+		return false
+	}
+	return false
+}
+
+func isIntegerConversion(name string) bool {
+	switch name {
+	case "int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64", "uintptr":
+		return true
+	}
+	return false
+}
+
+// usesWallClock reports whether e contains a call to time.Now.
+func usesWallClock(e ast.Expr, timeName string) bool {
+	if timeName == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == timeName {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// --- distviacache -----------------------------------------------------------
+
+// distViaCache keeps every consumer of network distances on the PR-1 hot
+// path: per-source Dijkstra trees and the all-pairs matrix are memoized in
+// graph.DistanceCache, so calling the raw entry points elsewhere re-runs
+// shortest paths the cache already holds.
+var distViaCache = &Analyzer{
+	Name: "distviacache",
+	Doc:  "outside internal/graph, shortest paths must come from graph.DistanceCache, not raw Dijkstra/AllPairsShortestPaths",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			if f.Pkg == graphPkg {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Dijkstra", "AllPairsShortestPaths":
+					out = append(out, Finding{Pos: r.pos(call), Analyzer: "distviacache",
+						Message: fmt.Sprintf("direct %s call bypasses the shared graph.DistanceCache; use Shortest/Between/Matrix instead", sel.Sel.Name)})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// --- infsentinel ------------------------------------------------------------
+
+// infSentinel protects the disconnected-pair contract: distances between
+// unreachable nodes are the documented graph.Infinity (math.Inf(1)) sentinel,
+// so comparisons against ad-hoc huge constants or exact float equality on
+// distance values silently misclassify disconnected pairs.
+var infSentinel = &Analyzer{
+	Name: "infsentinel",
+	Doc:  "distance comparisons must use graph.Infinity/math.IsInf, not magic constants or float equality",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			// internal/graph owns the sentinel and asserts exact cache
+			// coherence; internal/lint defines the magnitude threshold.
+			if f.Pkg == graphPkg || f.Pkg == "internal/lint" {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || !isComparisonOp(be.Op) {
+					return true
+				}
+				if isHugeLiteral(be.X) || isHugeLiteral(be.Y) {
+					out = append(out, Finding{Pos: r.pos(be), Analyzer: "infsentinel",
+						Message: "comparison against a magic huge constant; disconnected pairs are graph.Infinity — compare with math.IsInf or graph.Infinity"})
+					return true
+				}
+				if (be.Op == token.EQL || be.Op == token.NEQ) &&
+					(isDistanceExpr(be.X) || isDistanceExpr(be.Y)) &&
+					!isInfinityRef(be.X) && !isInfinityRef(be.Y) {
+					out = append(out, Finding{Pos: r.pos(be), Analyzer: "infsentinel",
+						Message: "exact ==/!= on a float64 distance; compare against graph.Infinity, use math.IsInf, or an epsilon"})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isHugeLiteral matches numeric literals with magnitude ≥ 1e12 — the
+// "1e18 means unreachable" smell.
+func isHugeLiteral(e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.UnaryExpr:
+			e = v.X
+			continue
+		case *ast.BasicLit:
+			if v.Kind != token.INT && v.Kind != token.FLOAT {
+				return false
+			}
+			val, err := strconv.ParseFloat(strings.ReplaceAll(v.Value, "_", ""), 64)
+			return err == nil && (val >= 1e12 || val <= -1e12)
+		default:
+			return false
+		}
+	}
+}
+
+// isDistanceExpr recognizes the repo's distance-producing expressions: the
+// DistanceCache/DistanceMatrix lookups and ShortestPaths.Dist indexing.
+func isDistanceExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return isDistanceExpr(v.X)
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Between", "TransferDelayPerGB", "Eccentricity":
+				return true
+			}
+		}
+	case *ast.IndexExpr:
+		if sel, ok := v.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Dist" {
+			return true
+		}
+	}
+	return false
+}
+
+func isInfinityRef(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name == "Infinity"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "Infinity"
+	}
+	return false
+}
+
+// --- droppederr -------------------------------------------------------------
+
+// stdlibErrNames are stdlib encoder/writer methods whose error return the
+// repo must never drop on the floor; repo-declared functions are covered by
+// Repo.ErrorReturning.
+var stdlibErrNames = map[string]bool{
+	"Encode": true,
+	"Decode": true,
+	"Flush":  true,
+}
+
+// droppedErr flags bare call statements that provably discard an error: the
+// callee name is declared in this repo with error as its last result in
+// every declaration, or is a known stdlib encoder/writer method. Deferred
+// calls and explicit `_ =` discards are intentional and exempt.
+var droppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "bare call statements must not discard error returns from repo or encoding/io functions",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var name string
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				default:
+					return true
+				}
+				if r.ErrorReturning(name) || stdlibErrNames[name] {
+					out = append(out, Finding{Pos: r.pos(stmt), Analyzer: "droppederr",
+						Message: fmt.Sprintf("result of %s is discarded but carries an error; handle it (or assign to _ to discard explicitly)", name)})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// --- instrreg ---------------------------------------------------------------
+
+// instrReg enforces the instrument package's registration contract
+// (internal/instrument doc): counters and timers are process-global,
+// created in package-level var blocks with a static string-literal name,
+// and each name is registered exactly once. In-function creation would pay
+// the registry mutex on hot paths; duplicate names silently merge metrics.
+var instrReg = &Analyzer{
+	Name: "instrreg",
+	Doc:  "instrument counters/timers must be package-level vars with unique string-literal names",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		firstSeen := make(map[string]string) // metric name → position of first registration
+		for _, f := range r.Files {
+			if f.IsTest || f.Pkg == "internal/instrument" {
+				continue
+			}
+			instrName := importName(f.AST, "edgerep/internal/instrument")
+			if instrName == "" {
+				continue
+			}
+			isMetricCall := func(n ast.Node) (*ast.CallExpr, bool) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return nil, false
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return nil, false
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || x.Name != instrName {
+					return nil, false
+				}
+				return call, sel.Sel.Name == "NewCounter" || sel.Sel.Name == "NewTimer"
+			}
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					ast.Inspect(d, func(n ast.Node) bool {
+						if call, ok := isMetricCall(n); ok {
+							out = append(out, Finding{Pos: r.pos(call), Analyzer: "instrreg",
+								Message: "instrument metric created inside a function; declare it in a package-level var block so it registers exactly once"})
+						}
+						return true
+					})
+				case *ast.GenDecl:
+					ast.Inspect(d, func(n ast.Node) bool {
+						call, ok := isMetricCall(n)
+						if !ok {
+							return true
+						}
+						if len(call.Args) != 1 {
+							return true
+						}
+						lit, ok := call.Args[0].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							out = append(out, Finding{Pos: r.pos(call.Args[0]), Analyzer: "instrreg",
+								Message: "instrument metric name must be a string literal so the registry stays statically auditable"})
+							return true
+						}
+						name, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							return true
+						}
+						if prev, dup := firstSeen[name]; dup {
+							out = append(out, Finding{Pos: r.pos(call), Analyzer: "instrreg",
+								Message: fmt.Sprintf("instrument metric %q already registered at %s; metrics register exactly once", name, prev)})
+						} else {
+							firstSeen[name] = r.pos(call).String()
+						}
+						return true
+					})
+				}
+			}
+		}
+		return out
+	},
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(…)"
+	case *ast.BinaryExpr:
+		return exprString(v.X) + " " + v.Op.String() + " " + exprString(v.Y)
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[…]"
+	}
+	return "expression"
+}

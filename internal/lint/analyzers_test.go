@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture is one in-memory source snippet run through a single analyzer:
+// positive fixtures must produce at least one finding containing wantSub,
+// negative fixtures must produce none. These catch analyzer regressions
+// without walking the real tree (TestLintRepo does that).
+type fixture struct {
+	name     string
+	analyzer string
+	// filename controls the package scoping (e.g. internal/graph is exempt
+	// from distviacache); default "internal/fix/fix.go".
+	filename string
+	src      string
+	wantSub  string // non-empty = positive fixture, substring of the message
+}
+
+var fixtures = []fixture{
+	// --- seededrand ---
+	{
+		name:     "wall-clock seed flagged",
+		analyzer: "seededrand",
+		src: `package fix
+import ("math/rand"; "time")
+func f() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }
+`,
+		wantSub: "time.Now()",
+	},
+	{
+		name:     "opaque call seed flagged",
+		analyzer: "seededrand",
+		src: `package fix
+import "math/rand"
+func pid() int64 { return 4 }
+func f() rand.Source { return rand.NewSource(pid()) }
+`,
+		wantSub: "does not trace to a Seed field",
+	},
+	{
+		name:     "opaque source for rand.New flagged",
+		analyzer: "seededrand",
+		src: `package fix
+import "math/rand"
+func src() rand.Source { return nil }
+func f() *rand.Rand { return rand.New(src()) }
+`,
+		wantSub: "hides its seed",
+	},
+	{
+		name:     "config Seed field ok",
+		analyzer: "seededrand",
+		src: `package fix
+import "math/rand"
+type cfg struct{ Seed int64 }
+func f(c cfg) *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+`,
+	},
+	{
+		name:     "literal and derived seeds ok",
+		analyzer: "seededrand",
+		src: `package fix
+import "math/rand"
+func f(seed int64, i int) {
+	_ = rand.New(rand.NewSource(42))
+	_ = rand.NewSource(seed*2 + 1)
+	_ = rand.NewSource(int64(i) + seed)
+	_ = rand.NewSource(permSeed)
+}
+var permSeed int64
+`,
+	},
+
+	// --- distviacache ---
+	{
+		name:     "raw Dijkstra outside internal/graph flagged",
+		analyzer: "distviacache",
+		src: `package fix
+func f(g interface{ Dijkstra(int) int }) { _ = g.Dijkstra(0) }
+`,
+		wantSub: "Dijkstra",
+	},
+	{
+		name:     "raw AllPairsShortestPaths flagged",
+		analyzer: "distviacache",
+		src: `package fix
+func f(g interface{ AllPairsShortestPaths() int }) { _ = g.AllPairsShortestPaths() }
+`,
+		wantSub: "AllPairsShortestPaths",
+	},
+	{
+		name:     "internal/graph itself exempt",
+		analyzer: "distviacache",
+		filename: "internal/graph/x.go",
+		src: `package graph
+func f(g *Graph) { _ = g.Dijkstra(0) }
+type Graph struct{}
+func (g *Graph) Dijkstra(int) int { return 0 }
+`,
+	},
+	{
+		name:     "DistanceCache lookups ok",
+		analyzer: "distviacache",
+		src: `package fix
+func f(c interface {
+	Shortest(int) int
+	Between(int, int) float64
+	Matrix() int
+}) {
+	_ = c.Shortest(0)
+	_ = c.Between(0, 1)
+	_ = c.Matrix()
+}
+`,
+	},
+
+	// --- infsentinel ---
+	{
+		name:     "magic huge constant flagged",
+		analyzer: "infsentinel",
+		src: `package fix
+func f(d float64) bool { return d == 1e18 }
+`,
+		wantSub: "magic huge constant",
+	},
+	{
+		name:     "huge constant ordering flagged too",
+		analyzer: "infsentinel",
+		src: `package fix
+func f(d float64) bool { return d < 999_999_999_999_999 }
+`,
+		wantSub: "magic huge constant",
+	},
+	{
+		name:     "distance equality flagged",
+		analyzer: "infsentinel",
+		src: `package fix
+func f(m interface{ Between(int, int) float64 }, d float64) bool { return m.Between(0, 1) == d }
+`,
+		wantSub: "==/!= on a float64 distance",
+	},
+	{
+		name:     "Dist index equality flagged",
+		analyzer: "infsentinel",
+		src: `package fix
+type sp struct{ Dist []float64 }
+func f(s sp, d float64) bool { return s.Dist[3] != d }
+`,
+		wantSub: "==/!= on a float64 distance",
+	},
+	{
+		name:     "Infinity sentinel and IsInf ok",
+		analyzer: "infsentinel",
+		src: `package fix
+import "math"
+var Infinity = math.Inf(1)
+func f(m interface{ Between(int, int) float64 }, deadline float64) bool {
+	if m.Between(0, 1) == Infinity {
+		return false
+	}
+	if math.IsInf(m.Between(0, 1), 1) {
+		return false
+	}
+	return m.Between(0, 1) <= deadline
+}
+`,
+	},
+
+	// --- droppederr ---
+	{
+		name:     "bare call to repo error function flagged",
+		analyzer: "droppederr",
+		src: `package fix
+func save() error { return nil }
+func f() { save() }
+`,
+		wantSub: "result of save is discarded",
+	},
+	{
+		name:     "bare Encode flagged",
+		analyzer: "droppederr",
+		src: `package fix
+import "encoding/json"
+import "os"
+func f() { json.NewEncoder(os.Stdout).Encode(42) }
+`,
+		wantSub: "result of Encode is discarded",
+	},
+	{
+		name:     "handled and explicitly discarded ok",
+		analyzer: "droppederr",
+		src: `package fix
+func save() error { return nil }
+func f() error {
+	if err := save(); err != nil {
+		return err
+	}
+	_ = save()
+	defer save()
+	return nil
+}
+`,
+	},
+	{
+		name:     "void function with same-name error sibling not flagged",
+		analyzer: "droppederr",
+		src: `package fix
+type a struct{}
+func (a) Close() error { return nil }
+type b struct{}
+func (b) Close() {}
+func f(x b) { x.Close() }
+`,
+	},
+
+	// --- instrreg ---
+	{
+		name:     "metric inside function flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() { _ = instrument.NewCounter("fix.calls") }
+`,
+		wantSub: "inside a function",
+	},
+	{
+		name:     "non-literal metric name flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var name = "fix.calls"
+var c = instrument.NewCounter(name)
+`,
+		wantSub: "string literal",
+	},
+	{
+		name:     "duplicate metric name flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var (
+	a = instrument.NewCounter("fix.calls")
+	b = instrument.NewTimer("fix.calls")
+)
+`,
+		wantSub: "already registered",
+	},
+	{
+		name:     "package-level unique metrics ok",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var (
+	calls = instrument.NewCounter("fix.calls")
+	t     = instrument.NewTimer("fix.latency")
+)
+`,
+	},
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.analyzer+"/"+fx.name, func(t *testing.T) {
+			filename := fx.filename
+			if filename == "" {
+				filename = "internal/fix/fix.go"
+			}
+			repo, err := NewRepoFromSource(filename, fx.src)
+			if err != nil {
+				t.Fatalf("fixture does not parse: %v", err)
+			}
+			a := ByName(fx.analyzer)
+			if a == nil {
+				t.Fatalf("unknown analyzer %q", fx.analyzer)
+			}
+			findings := repo.Run([]*Analyzer{a})
+			if fx.wantSub == "" {
+				if len(findings) != 0 {
+					t.Fatalf("clean fixture produced findings:\n%v", findings)
+				}
+				return
+			}
+			if len(findings) == 0 {
+				t.Fatalf("violation fixture produced no findings")
+			}
+			for _, f := range findings {
+				if f.Analyzer != fx.analyzer {
+					t.Fatalf("finding from wrong analyzer %q: %v", f.Analyzer, f)
+				}
+				if strings.Contains(f.Message, fx.wantSub) {
+					return
+				}
+			}
+			t.Fatalf("no finding mentions %q; got:\n%v", fx.wantSub, findings)
+		})
+	}
+}
+
+// TestFixturesCoverEveryAnalyzer guards the table itself: every registered
+// analyzer must have at least one positive and one negative fixture.
+func TestFixturesCoverEveryAnalyzer(t *testing.T) {
+	pos := map[string]bool{}
+	neg := map[string]bool{}
+	for _, fx := range fixtures {
+		if fx.wantSub != "" {
+			pos[fx.analyzer] = true
+		} else {
+			neg[fx.analyzer] = true
+		}
+	}
+	for _, a := range Analyzers() {
+		if !pos[a.Name] {
+			t.Errorf("analyzer %s has no positive fixture", a.Name)
+		}
+		if !neg[a.Name] {
+			t.Errorf("analyzer %s has no negative fixture", a.Name)
+		}
+	}
+}
+
+// TestFindingString pins the file:line:col output contract edgerepvet and
+// ci.sh rely on.
+func TestFindingString(t *testing.T) {
+	repo, err := NewRepoFromSource("internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() { save() }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := repo.Run([]*Analyzer{ByName("droppederr")})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	got := findings[0].String()
+	if !strings.HasPrefix(got, "internal/fix/fix.go:3:12: droppederr: ") {
+		t.Fatalf("finding format %q", got)
+	}
+}

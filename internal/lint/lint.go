@@ -1,0 +1,265 @@
+// Package lint is the repository's static-analysis pass: a stdlib-only
+// analyzer framework (go/parser + go/ast, no external modules) with
+// repo-specific analyzers that machine-check the conventions the paper
+// reproduction depends on — seeded randomness (determinism contract),
+// distance lookups through the shared graph.DistanceCache (the PR-1 hot
+// path), the graph.Infinity sentinel for disconnected pairs, no silently
+// dropped errors, and package-level instrument metric registration.
+//
+// The pass runs three ways: as the cmd/edgerepvet CLI, as the in-repo gate
+// TestLintRepo (so `go test ./...` itself fails on violations), and as a
+// step in ci.sh between vet and build. Analyzers operate on a Repo — every
+// parsed file plus cross-file indexes — so rules that need whole-repo
+// context (duplicate metric names, repo-declared error signatures) stay
+// single-pass.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"edgerep/internal/instrument"
+)
+
+// Gate instrumentation: the CI step runs edgerepvet with -stats so the
+// snapshot records that the gate ran and what it found.
+var (
+	statAnalyzers = instrument.NewCounter("lint.analyzers_run")
+	statFiles     = instrument.NewCounter("lint.files_scanned")
+	statFindings  = instrument.NewCounter("lint.findings")
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one repo-specific rule. Run receives the whole Repo so rules
+// may correlate across files; findings are reported in any order and sorted
+// by the driver.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Repo) []Finding
+}
+
+// File is one parsed source file plus the repo-relative metadata the
+// analyzers key their scoping decisions on.
+type File struct {
+	AST *ast.File
+	// Path is the slash-separated path relative to the repo root.
+	Path string
+	// Pkg is the directory of Path ("." for root-level files); analyzers
+	// use it to scope rules, e.g. distviacache exempts "internal/graph".
+	Pkg string
+	// IsTest reports a _test.go file.
+	IsTest bool
+}
+
+// Repo is the parsed universe one lint pass runs over.
+type Repo struct {
+	Fset  *token.FileSet
+	Files []*File
+	// errFuncs maps function/method names declared in the repo to whether
+	// every declaration of that name has error as its last result — the
+	// conservative condition under which a bare call statement provably
+	// discards an error.
+	errFuncs map[string]bool
+}
+
+// Load parses every .go file under root (skipping testdata and dot
+// directories) into a Repo ready for Run. File paths — and therefore the
+// package scoping the analyzers key on, e.g. the internal/graph exemption —
+// are made relative to the enclosing module root (nearest go.mod at or
+// above root), so `edgerepvet ./internal/...` scopes identically to
+// `edgerepvet ./...`.
+func Load(root string) (*Repo, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	base := moduleRoot(absRoot)
+	r := &Repo{Fset: token.NewFileSet()}
+	err = filepath.WalkDir(absRoot, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != absRoot && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(base, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return r.addFile(filepath.ToSlash(rel), string(src))
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.finish()
+	return r, nil
+}
+
+// moduleRoot walks up from dir (absolute) to the nearest directory holding a
+// go.mod; when none exists, dir itself anchors the repo-relative paths.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// NewRepoFromSource builds a single-file Repo from an in-memory snippet —
+// the entry point the analyzer fixture tests use so regressions are caught
+// without walking the real tree.
+func NewRepoFromSource(filename, src string) (*Repo, error) {
+	r := &Repo{Fset: token.NewFileSet()}
+	if err := r.addFile(filename, src); err != nil {
+		return nil, err
+	}
+	r.finish()
+	return r, nil
+}
+
+func (r *Repo) addFile(rel, src string) error {
+	f, err := parser.ParseFile(r.Fset, rel, src, parser.ParseComments)
+	if err != nil {
+		return fmt.Errorf("lint: parse %s: %w", rel, err)
+	}
+	pkg := filepath.ToSlash(filepath.Dir(rel))
+	r.Files = append(r.Files, &File{
+		AST:    f,
+		Path:   rel,
+		Pkg:    pkg,
+		IsTest: strings.HasSuffix(rel, "_test.go"),
+	})
+	return nil
+}
+
+// finish builds the cross-file indexes and fixes a deterministic file order.
+func (r *Repo) finish() {
+	sort.Slice(r.Files, func(i, j int) bool { return r.Files[i].Path < r.Files[j].Path })
+	r.errFuncs = make(map[string]bool)
+	for _, f := range r.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			returnsErr := false
+			if res := fd.Type.Results; res != nil && len(res.List) > 0 {
+				last := res.List[len(res.List)-1].Type
+				if id, ok := last.(*ast.Ident); ok && id.Name == "error" {
+					returnsErr = true
+				}
+			}
+			if prev, seen := r.errFuncs[name]; seen {
+				r.errFuncs[name] = prev && returnsErr
+			} else {
+				r.errFuncs[name] = returnsErr
+			}
+		}
+	}
+}
+
+// ErrorReturning reports whether every repo-level declaration named name has
+// error as its last result.
+func (r *Repo) ErrorReturning(name string) bool { return r.errFuncs[name] }
+
+// pos converts a node position for reporting.
+func (r *Repo) pos(n ast.Node) token.Position { return r.Fset.Position(n.Pos()) }
+
+// importName returns the local name under which file f imports path
+// ("" when not imported): the declared alias, or the path's base name.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return p[strings.LastIndex(p, "/")+1:]
+	}
+	return ""
+}
+
+// Run executes the given analyzers over the repo and returns the findings
+// sorted by position then analyzer name.
+func (r *Repo) Run(analyzers []*Analyzer) []Finding {
+	statFiles.Add(int64(len(r.Files)))
+	var out []Finding
+	for _, a := range analyzers {
+		statAnalyzers.Inc()
+		out = append(out, a.Run(r)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	statFindings.Add(int64(len(out)))
+	return out
+}
+
+// Analyzers returns every registered analyzer in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		seededRand,
+		distViaCache,
+		infSentinel,
+		droppedErr,
+		instrReg,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestLintRepo is the in-repo gate: every analyzer over the whole tree must
+// come back clean. A deliberate violation anywhere in the repo fails this
+// test (the fixture table in analyzers_test.go demonstrates each analyzer
+// firing on such violations in isolation).
+func TestLintRepo(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(root + "/go.mod"); err != nil {
+		t.Fatalf("repo root not found from package dir: %v", err)
+	}
+	repo, err := Load(root)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(repo.Files) == 0 {
+		t.Fatal("no Go files loaded")
+	}
+	findings := repo.Run(Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("%d lint finding(s); run `go run ./cmd/edgerepvet ./...` from the repo root", len(findings))
+	}
+}
+
+// TestLoadScopesPackagesAtModuleRoot guards the subtree-invocation case:
+// `edgerepvet ./internal/...` must scope files identically to `./...`, i.e.
+// paths stay relative to go.mod, so internal/graph keeps its Dijkstra
+// exemption even when it is the walk root.
+func TestLoadScopesPackagesAtModuleRoot(t *testing.T) {
+	repo, err := Load("../../internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Files) == 0 {
+		t.Fatal("no files loaded from internal/graph")
+	}
+	for _, f := range repo.Files {
+		if f.Pkg != "internal/graph" {
+			t.Fatalf("file %s scoped to %q, want internal/graph", f.Path, f.Pkg)
+		}
+	}
+	if findings := repo.Run(Analyzers()); len(findings) > 0 {
+		t.Fatalf("internal/graph flagged when loaded as the walk root:\n%v", findings)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
+	"edgerep/internal/invariant"
 	"edgerep/internal/placement"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
@@ -72,6 +73,9 @@ func TestHoldForeverMatchesOfflineCapacityModel(t *testing.T) {
 	if err := e.Solution().Validate(p); err != nil {
 		t.Fatalf("online hold-forever solution fails offline validation: %v", err)
 	}
+	if err := invariant.CheckSolution(p, e.Solution(), e.Result().VolumeAdmitted); err != nil {
+		t.Fatalf("online hold-forever solution violates paper invariants: %v", err)
+	}
 }
 
 func TestCapacityReleasedAfterHold(t *testing.T) {
@@ -113,6 +117,11 @@ func TestCapacityReleasedAfterHold(t *testing.T) {
 	if eRel.Result().Admitted < deadlineOnly/2 {
 		t.Fatalf("short-hold run admitted %d, expected at least half of the %d deadline-feasible queries",
 			eRel.Result().Admitted, deadlineOnly)
+	}
+	// Finite holds release capacity over time, so the offline capacity sum
+	// does not apply — everything else (replica, deadline, K, objective) must.
+	if err := invariant.CheckAdmissions(pRel, eRel.Solution(), eRel.Result().VolumeAdmitted); err != nil {
+		t.Fatalf("short-hold solution violates paper invariants: %v", err)
 	}
 }
 
@@ -222,6 +231,10 @@ func TestInstantaneousCapacityProperty(t *testing.T) {
 				return false
 			}
 			_ = dec
+		}
+		if err := invariant.CheckAdmissions(pp, e.Solution(), e.Result().VolumeAdmitted); err != nil {
+			t.Logf("invariant: %v", err)
+			return false
 		}
 		return e.Result().PeakUtilization <= 1+1e-9
 	}

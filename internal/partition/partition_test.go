@@ -40,7 +40,7 @@ func randomGraph(n int, seed int64) (*graph.Graph, []graph.NodeID) {
 
 func TestKWayBasicInvariants(t *testing.T) {
 	g, nodes := randomGraph(40, 3)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	for _, k := range []int{1, 2, 3, 5, 8} {
 		p, err := KWay(nodes, k, dm)
 		if err != nil {
@@ -62,7 +62,7 @@ func TestKWayBasicInvariants(t *testing.T) {
 
 func TestKWayErrors(t *testing.T) {
 	g, nodes := lineGraph(5)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	if _, err := KWay(nodes, 0, dm); err == nil {
 		t.Fatal("k=0 accepted")
 	}
@@ -73,7 +73,7 @@ func TestKWayErrors(t *testing.T) {
 
 func TestKWayMorePartsThanNodesClamps(t *testing.T) {
 	g, nodes := lineGraph(3)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	p, err := KWay(nodes, 10, dm)
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestKWayMorePartsThanNodesClamps(t *testing.T) {
 
 func TestKWaySinglePartContainsAll(t *testing.T) {
 	g, nodes := lineGraph(7)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	p, err := KWay(nodes, 1, dm)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestKWayLineSplitsContiguously(t *testing.T) {
 	// refinement should find a contiguous split (each part's members form
 	// an interval).
 	g, nodes := lineGraph(10)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	p, err := KWay(nodes, 2, dm)
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestKWayLineSplitsContiguously(t *testing.T) {
 
 func TestRefinementNeverIncreasesCost(t *testing.T) {
 	g, nodes := randomGraph(30, 9)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	// Build the unrefined assignment by reproducing seeding + nearest-seed.
 	seeds := pickSeeds(nodes, 4, dm)
 	parts := make(map[graph.NodeID]int)
@@ -149,7 +149,7 @@ func TestRefinementNeverIncreasesCost(t *testing.T) {
 
 func TestMedoidsAreMembers(t *testing.T) {
 	g, nodes := randomGraph(25, 11)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	p, err := KWay(nodes, 3, dm)
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestKWayCoverageProperty(t *testing.T) {
 		n := 2 + int(nRaw)%40
 		k := 1 + int(kRaw)%10
 		g, nodes := randomGraph(n, seed)
-		dm := g.AllPairsShortestPaths()
+		dm := graph.NewDistanceCache(g).Matrix()
 		p, err := KWay(nodes, k, dm)
 		if err != nil {
 			return false
@@ -199,7 +199,7 @@ func TestKWayCoverageProperty(t *testing.T) {
 
 func BenchmarkKWay100(b *testing.B) {
 	g, nodes := randomGraph(100, 1)
-	dm := g.AllPairsShortestPaths()
+	dm := graph.NewDistanceCache(g).Matrix()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -49,7 +49,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for _, region := range cfg.DataCenterRegions {
 		n, err := StartNode("dc-"+region, region, cfg.Latency)
 		if err != nil {
-			c.Close()
+			_ = c.Close() // best-effort cleanup; the start error wins
 			return nil, err
 		}
 		c.Nodes = append(c.Nodes, n)
@@ -57,7 +57,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := 0; i < cfg.Cloudlets; i++ {
 		n, err := StartNode(fmt.Sprintf("cl-%d", i), "metro", cfg.Latency)
 		if err != nil {
-			c.Close()
+			_ = c.Close() // best-effort cleanup; the start error wins
 			return nil, err
 		}
 		c.Nodes = append(c.Nodes, n)
@@ -65,11 +65,15 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// Close shuts every node down.
-func (c *Cluster) Close() {
+// Close shuts every node down, returning the first close error.
+func (c *Cluster) Close() error {
+	var first error
 	for _, n := range c.Nodes {
-		_ = n.Close()
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Node returns the i-th node.

@@ -27,7 +27,7 @@ func smallCluster(t testing.TB) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { _ = c.Close() })
 	return c
 }
 
@@ -213,7 +213,7 @@ func TestRemoteSlowerThanLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	defer func() { _ = c.Close() }()
 	recs := testTrace(t, 400)
 	if err := c.Place(0, 0, recs); err != nil { // dc-singapore
 		t.Fatal(err)
@@ -273,7 +273,7 @@ func BenchmarkEvaluateLocal(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Close()
+	defer func() { _ = c.Close() }()
 	tc := workload.DefaultTraceConfig()
 	tc.Records = 2000
 	recs, err := workload.GenerateTrace(tc)
