@@ -15,6 +15,7 @@ package edgerep
 import (
 	"flag"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -179,6 +180,38 @@ func TestWriteBenchReport(t *testing.T) {
 			"core.scratch_allocs", "core.scratch_reuses"),
 		BaselineNsPerOp:     seedApproGNsPerOp,
 		BaselineAllocsPerOp: seedApproGAllocsPerOp,
+	}
+	report.Entries = append(report.Entries, e)
+	approGUntracedNs := e.NsPerOp
+
+	// Observability overhead: the same Appro-G instance with a JSONL trace
+	// sink attached (discarding its output), against the no-sink run above.
+	// The seed tree had no tracing, so there is no Baseline denominator; the
+	// overhead ratio lands in Derived instead — >1 means tracing costs time,
+	// and the zero-alloc gates in ci.sh bound the no-sink side at zero.
+	approGTraced := func(b *testing.B) {
+		p := benchProblem(b, 1, 3)
+		instrument.ResetTrace()
+		instrument.SetTraceSink(instrument.NewJSONLSink(io.Discard))
+		defer instrument.ResetTrace()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ApproG(p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	r, _ = measure(t, approGTraced)
+	e = instrument.BenchEntry{
+		Name:        "ObsOverhead",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Derived: map[string]float64{
+			"trace_overhead_ratio": ratio(float64(r.NsPerOp()), approGUntracedNs),
+		},
 	}
 	report.Entries = append(report.Entries, e)
 

@@ -26,7 +26,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== trace gates (zero-alloc inactive emission + deterministic JSONL golden)"
+go test -run 'TestTraceEmissionZeroAllocInactive' ./internal/instrument ./internal/core
+go test -run 'TestTraceGoldenDeterministic' ./internal/experiments
+
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkAlgorithmsHeadToHead' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkTraceEmissionInactive' -benchtime 1x ./internal/instrument
+go test -run '^$' -bench 'BenchmarkApproGTraceInactive' -benchtime 1x ./internal/core
 
 echo "ci.sh: all green"

@@ -32,6 +32,7 @@ func main() {
 		datasets = flag.Int("datasets", 12, "workload dataset count")
 		records  = flag.Int("records", 10000, "trace record count")
 		stats    = flag.Bool("stats", false, "collect runtime counters (Dijkstra calls, cache hits) and print them to stderr on exit")
+		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file; generation emits no admission events, so this records an empty trace unless future kinds admit")
 	)
 	flag.Parse()
 	if *stats {
@@ -44,6 +45,17 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "edgerepgen: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		closeTrace, err := instrument.OpenTraceFile(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	emit := func(v interface{}) {
 		enc := json.NewEncoder(os.Stdout)

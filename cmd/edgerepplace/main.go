@@ -39,6 +39,7 @@ func main() {
 		topoPath = flag.String("topo", "", "load the topology from a JSON file (edgerepgen -kind topology) instead of generating")
 		wlPath   = flag.String("workload", "", "load the workload from a JSON file (edgerepgen -kind workload) instead of generating")
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
+		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
 	)
 	flag.Parse()
 	if *stats {
@@ -51,6 +52,17 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "edgerepplace: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		closeTrace, err := instrument.OpenTraceFile(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	var top *topology.Topology

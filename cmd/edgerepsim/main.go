@@ -10,6 +10,8 @@
 //	edgerepsim -fig 5 -csv           # machine-readable output
 //	edgerepsim -seeds 5 -queries 80  # custom scale
 //	edgerepsim -fig 2 -stats         # runtime counters on stderr
+//	edgerepsim -fig 2 -quick -trace fig2.jsonl   # admission trace (JSONL)
+//	edgerepsim -http localhost:8080  # live /metrics, /progress, pprof
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"edgerep/internal/experiments"
 	"edgerep/internal/instrument"
 	"edgerep/internal/metrics"
+	"edgerep/internal/ops"
 )
 
 func main() {
@@ -32,6 +35,8 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
 		ext      = flag.Bool("extensions", false, "run the extension experiments (proactive vs reactive, online vs offline, optimality gap)")
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
+		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
+		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:8080")
 	)
 	flag.Parse()
 	if *stats {
@@ -39,6 +44,27 @@ func main() {
 		defer func() {
 			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
 		}()
+	}
+	if *traceOut != "" {
+		closeTrace, err := instrument.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		addr, _, err := ops.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "edgerepsim: ops endpoint on http://%s\n", addr)
 	}
 
 	if *ext {

@@ -10,6 +10,8 @@
 //	edgereptestbed -fig 8 -quick     # Appro-G vs Popularity-G across K
 //	edgereptestbed -describe         # print the Fig. 6 testbed layout
 //	edgereptestbed -fig 7 -noexec    # tables only, skip TCP execution
+//	edgereptestbed -fig 8 -quick -trace fig8.jsonl  # admission trace (JSONL)
+//	edgereptestbed -http localhost:8080             # live ops endpoint
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"edgerep/internal/experiments"
 	"edgerep/internal/instrument"
+	"edgerep/internal/ops"
 	"edgerep/internal/testbed"
 )
 
@@ -32,6 +35,8 @@ func main() {
 		scale    = flag.Float64("latency-scale", 0, "wall-clock scale of injected latencies (0 = config default)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
+		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
+		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:8080")
 	)
 	flag.Parse()
 	if *stats {
@@ -39,6 +44,27 @@ func main() {
 		defer func() {
 			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
 		}()
+	}
+	if *traceOut != "" {
+		closeTrace, err := instrument.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		addr, _, err := ops.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "edgereptestbed: ops endpoint on http://%s\n", addr)
 	}
 
 	if *describe {

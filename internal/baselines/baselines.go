@@ -31,9 +31,12 @@ type state struct {
 	p     *placement.Problem
 	avail map[graph.NodeID]float64
 	sol   *placement.Solution
+	// algo and traceRun identify this run in emitted trace events (trace.go).
+	algo     string
+	traceRun int64
 }
 
-func newState(p *placement.Problem) *state {
+func newState(p *placement.Problem, algo string) *state {
 	s := &state{
 		p:     p,
 		avail: make(map[graph.NodeID]float64),
@@ -42,6 +45,7 @@ func newState(p *placement.Problem) *state {
 	for _, v := range p.Cloud.ComputeNodes() {
 		s.avail[v] = p.Cloud.Available(v)
 	}
+	s.beginTrace(algo)
 	return s
 }
 
@@ -122,6 +126,7 @@ func requireSingle(p *placement.Problem, name string) error {
 }
 
 func finish(p *placement.Problem, s *state) (*placement.Solution, error) {
+	s.endTrace()
 	if err := s.sol.Validate(p); err != nil {
 		return nil, fmt.Errorf("baselines: infeasible solution: %w", err)
 	}
@@ -139,7 +144,7 @@ func finish(p *placement.Problem, s *state) (*placement.Solution, error) {
 // deadline-infeasible) node. Once K slots are burnt, later queries can only
 // use the existing replica set.
 func GreedyG(p *placement.Problem) (*placement.Solution, error) {
-	s := newState(p)
+	s := newState(p, "greedy-g")
 	for qi := range p.Queries {
 		picks, ok := s.tryBundle(qi, func(q *workload.Query, dm workload.Demand, tentOpen map[graph.NodeID]bool, tentUse map[graph.NodeID]float64) (graph.NodeID, bool) {
 			need := p.ComputeNeed(q.ID, dm.Dataset)
@@ -179,6 +184,7 @@ func GreedyG(p *placement.Problem) (*placement.Solution, error) {
 				// Burn the slot whether or not the probe satisfies
 				// this query: the replica stays in the system.
 				s.sol.AddReplica(dm.Dataset, v)
+				s.emitReplica(dm.Dataset, v)
 				if usable(v) {
 					return v, true
 				}
@@ -187,6 +193,9 @@ func GreedyG(p *placement.Problem) (*placement.Solution, error) {
 		})
 		if ok {
 			s.commit(qi, picks)
+			s.emitAdmit(qi, picks)
+		} else {
+			s.emitReject(qi)
 		}
 	}
 	return finish(p, s)
@@ -206,7 +215,7 @@ func GreedyS(p *placement.Problem) (*placement.Solution, error) {
 // at each region medoid (up to K), and queries are then assigned to the
 // feasible replica with the smallest evaluation delay.
 func GraphG(p *placement.Problem) (*placement.Solution, error) {
-	s := newState(p)
+	s := newState(p, "graph-g")
 	nodes := p.Cloud.ComputeNodes()
 	dmat := p.Cloud.Topology().Delays
 	parts, err := partition.KWay(nodes, p.MaxReplicas, dmat)
@@ -260,6 +269,7 @@ func GraphG(p *placement.Problem) (*placement.Solution, error) {
 			}
 			if best != -1 {
 				s.sol.AddReplica(ds, best)
+				s.emitReplica(ds, best)
 			}
 		}
 	}
@@ -281,6 +291,9 @@ func GraphG(p *placement.Problem) (*placement.Solution, error) {
 		})
 		if ok {
 			s.commit(qi, picks)
+			s.emitAdmit(qi, picks)
+		} else {
+			s.emitReject(qi)
 		}
 	}
 	return finish(p, s)
@@ -300,7 +313,7 @@ func GraphS(p *placement.Problem) (*placement.Solution, error) {
 // popular, placing a replica at the first node meeting the deadline with
 // capacity, up to K replicas per dataset.
 func PopularityG(p *placement.Problem) (*placement.Solution, error) {
-	s := newState(p)
+	s := newState(p, "popularity-g")
 	popularity := make(map[graph.NodeID]int)
 	for i := range p.Datasets {
 		popularity[p.Datasets[i].Origin]++
@@ -332,6 +345,7 @@ func PopularityG(p *placement.Problem) (*placement.Solution, error) {
 		if ok {
 			before := s.sol.TotalReplicas()
 			s.commit(qi, picks)
+			s.emitAdmit(qi, picks)
 			// New replicas raise their hosts' popularity.
 			if s.sol.TotalReplicas() > before {
 				for _, pk := range picks {
@@ -340,6 +354,8 @@ func PopularityG(p *placement.Problem) (*placement.Solution, error) {
 					}
 				}
 			}
+		} else {
+			s.emitReject(qi)
 		}
 	}
 	return finish(p, s)

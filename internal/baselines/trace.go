@@ -1,0 +1,111 @@
+// Trace emission and delay metrics for the baseline heuristics. Event
+// construction is gated behind instrument.TraceActive and histogram updates
+// behind instrument.Enabled, so the baselines stay allocation-free on their
+// decision paths when observability is off.
+//
+// The baselines place replicas outside admissions — Greedy burns a slot per
+// failed probe, Graph pre-places at partition medoids — so those placements
+// are emitted as EventReplica: a trace replays to the exact final solution
+// (invariant.CheckTrace relies on this).
+package baselines
+
+import (
+	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+var (
+	histQueryDelay     = instrument.NewHistogram("baselines.query_delay_seconds", instrument.DefaultDelayBuckets...)
+	histPlacementDelay = instrument.NewHistogram("baselines.placement_delay_seconds", instrument.DefaultDelayBuckets...)
+)
+
+// beginTrace opens the run's trace span (no-op without a sink).
+func (s *state) beginTrace(algo string) {
+	s.algo = algo
+	if !instrument.TraceActive() {
+		return
+	}
+	s.traceRun = instrument.NextTraceRun()
+	ev := instrument.NewTraceEvent(instrument.EventBegin, algo)
+	ev.Run = s.traceRun
+	ev.Label = instrument.TraceLabel()
+	instrument.EmitTrace(&ev)
+}
+
+// emitReplica records a replica placed outside an admission (a Greedy probe
+// burn or a Graph medoid pre-placement).
+func (s *state) emitReplica(n workload.DatasetID, v graph.NodeID) {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventReplica, s.algo)
+	ev.Run = s.traceRun
+	ev.Dataset = int64(n)
+	ev.Node = int64(v)
+	instrument.EmitTrace(&ev)
+}
+
+// emitAdmit records a committed bundle and feeds the delay histograms.
+func (s *state) emitAdmit(qi int, picks []pick) {
+	q := &s.p.Queries[qi]
+	if instrument.Enabled() {
+		worst := 0.0
+		for i, pk := range picks {
+			if delay, ok := s.p.EvalDelay(q.ID, q.Demands[i].Dataset, pk.node); ok {
+				histPlacementDelay.Observe(delay)
+				if delay > worst {
+					worst = delay
+				}
+			}
+		}
+		if len(picks) > 0 {
+			histQueryDelay.Observe(worst)
+		}
+	}
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventAdmit, s.algo)
+	ev.Run = s.traceRun
+	ev.Query = int64(q.ID)
+	for i, pk := range picks {
+		ev.Datasets = append(ev.Datasets, int64(q.Demands[i].Dataset))
+		ev.Nodes = append(ev.Nodes, int64(pk.node))
+		ev.Volume += s.p.Datasets[q.Demands[i].Dataset].SizeGB
+	}
+	instrument.EmitTrace(&ev)
+}
+
+// emitReject classifies the failed query against the committed state and
+// records the typed reason.
+func (s *state) emitReject(qi int) {
+	if !instrument.TraceActive() {
+		return
+	}
+	q := &s.p.Queries[qi]
+	reason, ds, node := placement.ClassifyRejection(s.p, q.ID, placement.RejectionState{
+		Avail:        func(v graph.NodeID) float64 { return s.avail[v] },
+		HasReplica:   s.sol.HasReplica,
+		ReplicaCount: s.sol.ReplicaCount,
+	})
+	ev := instrument.NewTraceEvent(instrument.EventReject, s.algo)
+	ev.Run = s.traceRun
+	ev.Query = int64(q.ID)
+	ev.Reason = reason
+	ev.Dataset = int64(ds)
+	ev.Node = int64(node)
+	instrument.EmitTrace(&ev)
+}
+
+// endTrace closes the run span with the achieved objective.
+func (s *state) endTrace() {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventEnd, s.algo)
+	ev.Run = s.traceRun
+	ev.Volume = s.sol.Volume(s.p)
+	instrument.EmitTrace(&ev)
+}

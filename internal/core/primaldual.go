@@ -44,6 +44,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"edgerep/internal/graph"
 	"edgerep/internal/instrument"
@@ -148,14 +149,14 @@ func ApproS(p *placement.Problem, opt Options) (*Result, error) {
 				p.Queries[i].ID, len(p.Queries[i].Demands))
 		}
 	}
-	return run(p, opt)
+	return run(p, opt, "appro-s")
 }
 
 // ApproG runs the general algorithm: queries may demand multiple datasets
 // (paper Algorithm 2). Admission is all-or-nothing over the demanded bundle
 // unless Options.PartialAdmission is set.
 func ApproG(p *placement.Problem, opt Options) (*Result, error) {
-	return run(p, opt)
+	return run(p, opt, "appro-g")
 }
 
 // pairCost is the dual cost of serving one demanded dataset of a query at a
@@ -190,6 +191,14 @@ type ascent struct {
 	// θ depends only on avail/caps, which change exclusively in commit, so
 	// it is refreshed once per round instead of per candidate evaluation.
 	thetaCache []float64
+	// algo and traceRun identify this run in emitted trace events; nodeClass,
+	// classUsed, and classCap back the per-class utilization gauges (see
+	// trace.go).
+	algo      string
+	traceRun  int64
+	nodeClass []int
+	classUsed [numClasses]float64
+	classCap  [numClasses]float64
 	// preferred holds the sites chosen by the proactive replication phase,
 	// dense per (dataset, node index); nil rows mean no preferred sites. A
 	// replica only materializes (and counts toward K) when a query is
@@ -287,6 +296,7 @@ func newAscent(p *placement.Problem, opt Options) *ascent {
 			a.delays[qi][di] = row
 		}
 	}
+	a.initClasses()
 	return a
 }
 
@@ -533,19 +543,28 @@ func (a *ascent) commit(plan bundlePlan) {
 		if a.avail[vi] < 0 {
 			a.avail[vi] = 0
 		}
+		a.noteUse(vi, pick.need)
 		a.sol.AddReplica(ds, pick.node)
 		as = append(as, placement.Assignment{Query: q.ID, Dataset: ds, Node: pick.node})
 	}
 	a.sol.Admit(q.ID, as)
 	statAdmitted.Inc()
+	a.publishUtil()
+	a.observeCommit(plan)
 }
 
 // run executes the dual ascent to exhaustion.
-func run(p *placement.Problem, opt Options) (*Result, error) {
+func run(p *placement.Problem, opt Options, algo string) (*Result, error) {
 	a := newAscent(p, opt)
+	a.beginTrace(algo)
 	if !opt.NoProactivePlacement {
+		start := time.Now()
 		a.proactivePlace()
+		elapsed := time.Since(start)
+		timerProactive.Observe(elapsed)
+		a.emitPhase("proactive", elapsed)
 	}
+	ascentStart := time.Now()
 	remaining := make([]int, len(p.Queries))
 	for i := range remaining {
 		remaining[i] = i
@@ -603,6 +622,7 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 				if !plans[i].ok {
 					res.Rejected++
 					statRejected.Inc()
+					a.emitReject(qi, res.Rounds+1)
 					continue
 				}
 				next = append(next, qi)
@@ -619,6 +639,7 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 					// freeze harder, so infeasibility is permanent.
 					res.Rejected++
 					statRejected.Inc()
+					a.emitReject(qi, res.Rounds+1)
 					continue
 				}
 				next = append(next, qi)
@@ -649,6 +670,7 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 		}
 		a.commit(best)
 		res.Rounds++
+		a.emitAdmit(best, res.Rounds)
 		// Drop the admitted query from the remaining set.
 		out := next[:0]
 		for _, qi := range next {
@@ -658,6 +680,12 @@ func run(p *placement.Problem, opt Options) (*Result, error) {
 		}
 		remaining = out
 	}
+
+	ascentElapsed := time.Since(ascentStart)
+	timerAdmission.Observe(ascentElapsed)
+	a.emitPhase("admission", ascentElapsed)
+	histAscentRounds.Observe(float64(res.Rounds))
+	a.endTrace()
 
 	res.Solution = a.sol
 	res.FinalTheta = make(map[graph.NodeID]float64, len(a.nodes))

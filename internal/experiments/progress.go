@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Sweep progress: a process-global ledger of the figure sweep currently
+// running, fed by sweep/testbedFigure and served as JSON by the ops
+// endpoint's /progress (internal/ops). Sweeps run one at a time in the cmd/
+// drivers, so a single slot suffices; a second concurrent sweep simply
+// overwrites the slot and the ledger reports the most recent one.
+var progress struct {
+	sync.Mutex
+	s ProgressSnapshot
+}
+
+// ProgressSnapshot is the /progress JSON document.
+type ProgressSnapshot struct {
+	// Sweep is the title of the running (or last finished) figure sweep;
+	// empty when no sweep has run in this process.
+	Sweep string `json:"sweep"`
+	// Active reports whether the sweep is still running.
+	Active bool `json:"active"`
+	// Points counts sweep x-axis points; Runs counts individual algorithm
+	// executions (points × seeds × algorithms).
+	TotalPoints     int `json:"total_points"`
+	CompletedPoints int `json:"completed_points"`
+	TotalRuns       int `json:"total_runs"`
+	CompletedRuns   int `json:"completed_runs"`
+}
+
+func progressStart(title string, totalRuns, totalPoints int) {
+	progress.Lock()
+	progress.s = ProgressSnapshot{
+		Sweep:       title,
+		Active:      true,
+		TotalPoints: totalPoints,
+		TotalRuns:   totalRuns,
+	}
+	progress.Unlock()
+}
+
+func progressStep() {
+	progress.Lock()
+	progress.s.CompletedRuns++
+	progress.Unlock()
+}
+
+func progressPointDone() {
+	progress.Lock()
+	progress.s.CompletedPoints++
+	progress.Unlock()
+}
+
+func progressFinish() {
+	progress.Lock()
+	progress.s.Active = false
+	progress.Unlock()
+}
+
+// Progress returns the current sweep progress snapshot.
+func Progress() ProgressSnapshot {
+	progress.Lock()
+	defer progress.Unlock()
+	return progress.s
+}
+
+// ProgressJSON renders the snapshot for the ops endpoint.
+func ProgressJSON() ([]byte, error) {
+	return json.Marshal(Progress())
+}

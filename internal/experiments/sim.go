@@ -226,6 +226,12 @@ func forEachSeed(seeds []int64, fn func(i int, seed int64) error) error {
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	if instrument.TraceActive() {
+		// A trace must be a totally ordered, replayable event stream; one
+		// worker keeps concurrent seed runs from interleaving in the sink
+		// (and keeps the JSONL output byte-identical across runs).
+		workers = 1
+	}
 	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -258,6 +264,8 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 
 	vol := metrics.NewTable(title+" (a)", xlabel, "volume of datasets demanded by admitted queries (GB)")
 	tp := metrics.NewTable(title+" (b)", xlabel, "system throughput")
+	progressStart(title, len(xs)*len(seeds)*len(algos), len(xs))
+	defer progressFinish()
 	for _, x := range xs {
 		type cell struct{ vol, tp float64 }
 		results := make([][]cell, len(seeds)) // [seed][algo]
@@ -267,12 +275,19 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 			if err != nil {
 				return fmt.Errorf("experiments: build %s x=%d seed=%d: %w", title, x, seed, err)
 			}
+			if instrument.TraceActive() {
+				// Stamp each run with its sweep point (runs are serialized
+				// by forEachSeed while tracing, so the label is stable for
+				// the whole (x, seed) cell).
+				instrument.SetTraceLabel(fmt.Sprintf("%s x=%d seed=%d", title, x, seed))
+			}
 			for ai, a := range algos {
 				sol, err := a.Run(p)
 				if err != nil {
 					return fmt.Errorf("experiments: %s at x=%d seed=%d: %w", a.Name, x, seed, err)
 				}
 				statAlgoRuns.Inc()
+				progressStep()
 				results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
 			}
 			return nil
@@ -280,6 +295,7 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 		if err != nil {
 			return nil, nil, err
 		}
+		progressPointDone()
 		sums := make([][2]float64, len(algos))
 		for si := range seeds {
 			for ai := range algos {

@@ -8,6 +8,7 @@ import (
 	"edgerep/internal/baselines"
 	"edgerep/internal/cluster"
 	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
 	"edgerep/internal/metrics"
 	"edgerep/internal/placement"
 	"edgerep/internal/testbed"
@@ -245,6 +246,8 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 	}
 	algos := testbedAlgos(split)
 	lat := testbed.DefaultLatencyModel()
+	progressStart(title, len(xs)*len(cfg.Seeds)*len(algos), len(xs))
+	defer progressFinish()
 
 	res := &TestbedResult{
 		Volume:     metrics.NewTable(title+" (a)", xlabel, "volume of datasets demanded by admitted queries (GB)"),
@@ -304,12 +307,16 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 				return err
 			}
 			statInstances.Inc()
+			if instrument.TraceActive() {
+				instrument.SetTraceLabel(fmt.Sprintf("%s x=%d seed=%d", title, x, seed))
+			}
 			for ai, a := range algos {
 				sol, err := a.Run(p)
 				if err != nil {
 					return fmt.Errorf("experiments: %s x=%d seed=%d: %w", a.Name, x, seed, err)
 				}
 				statAlgoRuns.Inc()
+				progressStep()
 				results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
 				if cfg.Execute && si == 0 {
 					stats, err := executeOnCluster(tc, p, sol, trace, cfg)
@@ -335,6 +342,7 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 		} else if err := forEachSeed(cfg.Seeds, runSeed); err != nil {
 			return nil, err
 		}
+		progressPointDone()
 		tick := fmt.Sprintf("%d", x)
 		for ai, a := range algos {
 			var volSum, tpSum float64

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/invariant"
+)
+
+// traceConfig is a tiny Fig-2 sweep for the trace tests: small enough to run
+// twice per test, rich enough to produce both admissions and rejections.
+func traceConfig() SimConfig {
+	c := QuickSimConfig()
+	c.Seeds = []int64{1, 2}
+	c.NetworkSizes = []int{20, 50}
+	return c
+}
+
+func runFig2Traced(t *testing.T, cfg SimConfig) []byte {
+	t.Helper()
+	instrument.ResetTrace()
+	var buf bytes.Buffer
+	sink := instrument.NewJSONLSink(&buf)
+	instrument.SetTraceSink(sink)
+	defer instrument.ResetTrace()
+	if _, _, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	instrument.ResetTrace()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGoldenDeterministic locks the trace determinism contract: the same
+// sweep traced twice in one process yields byte-identical JSONL (run IDs are
+// rewound by ResetTrace, wall-clock timings are dropped by the sink).
+func TestTraceGoldenDeterministic(t *testing.T) {
+	cfg := traceConfig()
+	a := runFig2Traced(t, cfg)
+	b := runFig2Traced(t, cfg)
+	if len(a) == 0 {
+		t.Fatal("traced sweep produced no events")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same sweep traced differently (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestTraceSweepValidatesClean is the acceptance gate: a traced Fig-2 sweep
+// replays cleanly through invariant.CheckTrace — every recorded admit fits
+// the replayed ledger and every recorded rejection reason survives ILP
+// recomputation. Instances are re-derived in the sweep's own (x, seed, algo)
+// order, which the serialized tracing mode guarantees matches run order.
+func TestTraceSweepValidatesClean(t *testing.T) {
+	cfg := traceConfig()
+	raw := runFig2Traced(t, cfg)
+	events, err := instrument.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := instrument.SplitTraceRuns(events)
+	algos := specialAlgos()
+	want := len(cfg.NetworkSizes) * len(cfg.Seeds) * len(algos)
+	if len(runs) != want {
+		t.Fatalf("trace has %d runs, want %d", len(runs), want)
+	}
+
+	tc := newTopoCache()
+	ri := 0
+	rejects, admits := 0, 0
+	for _, n := range cfg.NetworkSizes {
+		for _, seed := range cfg.Seeds {
+			p, err := tc.instance(seed, n, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for range algos {
+				run := runs[ri]
+				ri++
+				if vs := invariant.CheckTrace(p, run, invariant.TraceOptions{}); len(vs) != 0 {
+					t.Fatalf("run %d (n=%d seed=%d algo=%s) has violations: %v",
+						ri-1, n, seed, run[0].Algo, vs)
+				}
+				for _, ev := range run {
+					switch ev.Event {
+					case instrument.EventAdmit:
+						admits++
+					case instrument.EventReject:
+						rejects++
+					}
+				}
+			}
+		}
+	}
+	if admits == 0 {
+		t.Fatal("traced sweep recorded no admissions")
+	}
+	if rejects == 0 {
+		t.Fatal("traced sweep recorded no rejections; the reason checker was never exercised")
+	}
+}

@@ -1,0 +1,147 @@
+package instrument
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution: observation counts per upper
+// bound plus a running sum and total count, safe for concurrent use. Buckets
+// are fixed at creation so concurrent Observe never reallocates, and the
+// bucket layout (not wall-clock quantile state) is what lands in snapshots —
+// deterministic given deterministic observations.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	// counts[i] counts observations ≤ bounds[i] exclusively of lower
+	// buckets; counts[len(bounds)] is the +Inf overflow bucket.
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// DefaultDelayBuckets are the second-scale bounds used by the per-query and
+// per-dataset delay histograms: the workload's deadlines sit in the 0.1–10 s
+// band, so the buckets straddle it.
+var DefaultDelayBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// DefaultIterationBuckets are the round-count bounds used by the dual-ascent
+// iteration histogram.
+var DefaultIterationBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// NewHistogram creates (or returns the existing) registered histogram with
+// the given name and upper bounds. Bounds are sorted and deduplicated; when
+// none are given, DefaultDelayBuckets apply. As with counters, the first
+// registration of a name wins.
+func NewHistogram(name string, bounds ...float64) *Histogram {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.histograms == nil {
+		registry.histograms = make(map[string]*Histogram)
+	}
+	if h, ok := registry.histograms[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefaultDelayBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	h := &Histogram{name: name, bounds: uniq, counts: make([]atomic.Int64, len(uniq)+1)}
+	registry.histograms[name] = h
+	return h
+}
+
+// Observe records one value when collection is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (ascending, without +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCount returns the raw (non-cumulative) count of bucket i, where
+// i == len(Bounds()) addresses the +Inf overflow bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Gauge is a float64 value that moves up and down — the "current level"
+// companion to the monotone Counter (live capacity utilization, queue
+// depths). Safe for concurrent use.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// NewGauge creates (or returns the existing) registered gauge.
+func NewGauge(name string) *Gauge {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*Gauge)
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Set stores v when collection is enabled.
+func (g *Gauge) Set(v float64) {
+	if enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease) when collection is
+// enabled.
+func (g *Gauge) Add(delta float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }

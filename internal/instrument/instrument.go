@@ -19,6 +19,7 @@ package instrument
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,8 +42,10 @@ func Enabled() bool { return enabled.Load() }
 // registry holds every metric ever created, keyed by name.
 var registry struct {
 	sync.Mutex
-	counters map[string]*Counter
-	timers   map[string]*Timer
+	counters   map[string]*Counter
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	gauges     map[string]*Gauge
 }
 
 // Counter is a monotonically-increasing event count, safe for concurrent
@@ -138,22 +141,44 @@ func (t *Timer) TotalNs() int64 { return t.ns.Load() }
 func (t *Timer) Count() int64 { return t.count.Load() }
 
 // Snapshot returns the current value of every registered counter plus, per
-// timer, "<name>.ns" and "<name>.count" entries.
+// timer, "<name>.ns", "<name>.count", and "<name>.mean_ns" entries (count and
+// mean together expose low-N noise that a bare total hides in sweep
+// comparisons); per histogram, "<name>.count" and cumulative "<name>.le_…"
+// bucket entries; per gauge, "<name>.milli" (the value scaled by 1000 and
+// rounded, since the snapshot is integer-valued — the Prometheus endpoint
+// serves full precision).
 func Snapshot() map[string]int64 {
 	registry.Lock()
 	defer registry.Unlock()
-	out := make(map[string]int64, len(registry.counters)+2*len(registry.timers))
+	out := make(map[string]int64, len(registry.counters)+3*len(registry.timers))
 	for name, c := range registry.counters {
 		out[name] = c.Value()
 	}
 	for name, t := range registry.timers {
-		out[name+".ns"] = t.TotalNs()
-		out[name+".count"] = t.Count()
+		total, count := t.TotalNs(), t.Count()
+		out[name+".ns"] = total
+		out[name+".count"] = count
+		if count > 0 {
+			out[name+".mean_ns"] = total / count
+		} else {
+			out[name+".mean_ns"] = 0
+		}
+	}
+	for name, h := range registry.histograms {
+		out[name+".count"] = h.Count()
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			out[fmt.Sprintf("%s.le_%g", name, b)] = cum
+		}
+	}
+	for name, g := range registry.gauges {
+		out[name+".milli"] = int64(math.Round(g.Value() * 1000))
 	}
 	return out
 }
 
-// Reset zeroes every registered counter and timer.
+// Reset zeroes every registered counter, timer, histogram, and gauge.
 func Reset() {
 	registry.Lock()
 	defer registry.Unlock()
@@ -163,6 +188,16 @@ func Reset() {
 	for _, t := range registry.timers {
 		t.ns.Store(0)
 		t.count.Store(0)
+	}
+	for _, h := range registry.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sumBits.Store(0)
+		h.count.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.bits.Store(0)
 	}
 }
 

@@ -1,0 +1,93 @@
+package instrument
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4) — the payload behind the ops endpoint's
+// /metrics. Metric names are the registry's dotted paths with dots mapped to
+// underscores under an "edgerep_" prefix; timers export as a seconds-total /
+// count counter pair, histograms with cumulative le buckets, sum, and count.
+// Output is sorted by name so scrapes diff cleanly.
+func WritePrometheus(w io.Writer) error {
+	type metric struct {
+		name  string
+		lines []string
+	}
+	var metrics []metric
+
+	registry.Lock()
+	for name, c := range registry.counters {
+		n := promName(name)
+		metrics = append(metrics, metric{name: n, lines: []string{
+			fmt.Sprintf("# TYPE %s counter", n),
+			fmt.Sprintf("%s %d", n, c.Value()),
+		}})
+	}
+	for name, t := range registry.timers {
+		n := promName(name)
+		metrics = append(metrics, metric{name: n, lines: []string{
+			fmt.Sprintf("# TYPE %s_seconds_total counter", n),
+			fmt.Sprintf("%s_seconds_total %s", n, promFloat(float64(t.TotalNs())/1e9)),
+			fmt.Sprintf("# TYPE %s_observations_total counter", n),
+			fmt.Sprintf("%s_observations_total %d", n, t.Count()),
+		}})
+	}
+	for name, g := range registry.gauges {
+		n := promName(name)
+		metrics = append(metrics, metric{name: n, lines: []string{
+			fmt.Sprintf("# TYPE %s gauge", n),
+			fmt.Sprintf("%s %s", n, promFloat(g.Value())),
+		}})
+	}
+	for name, h := range registry.histograms {
+		n := promName(name)
+		lines := []string{fmt.Sprintf("# TYPE %s histogram", n)}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", n, promFloat(b), cum))
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, cum),
+			fmt.Sprintf("%s_sum %s", n, promFloat(h.Sum())),
+			fmt.Sprintf("%s_count %d", n, h.Count()),
+		)
+		metrics = append(metrics, metric{name: n, lines: lines})
+	}
+	registry.Unlock()
+
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	for _, m := range metrics {
+		for _, line := range m.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return fmt.Errorf("instrument: write prometheus text: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name to a Prometheus metric name.
+func promName(name string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return "edgerep_" + mapped
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,284 @@
+package instrument
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission tracing: a span-style event model for the replication engine.
+// Every run of an admission algorithm (the dual ascent, a baseline, the
+// online engine) is one trace run; within it, each query decision is one
+// event — an admit with its per-demand assignments, or a reject with a typed
+// reason attributing which paper constraint killed the query and where.
+// Replica placements that happen outside an admission (Greedy's burnt probe
+// slots, Graph's medoid pre-placement) are their own events so a trace
+// replays exactly to the final solution (invariant.CheckTrace enforces
+// this).
+//
+// Emission is gated on a process-global sink pointer: with no sink attached
+// (the default) TraceActive is a single atomic load, so engines guard event
+// construction behind it and the hot paths stay zero-alloc
+// (TestTraceEmissionZeroAllocInactive and BenchmarkTraceEmissionInactive
+// assert this; ci.sh runs both).
+//
+// Determinism contract: every field of a TraceEvent except ElapsedNs is a
+// pure function of the instance and the algorithm, and the JSONL sink drops
+// ElapsedNs unless IncludeTimings is set — so the same seed yields a
+// byte-identical trace (the experiments trace golden test locks this), and
+// traces are diffable artifacts rather than best-effort logs.
+
+// Reason is a typed rejection cause. Engines must use the Reason* constants
+// below — the tracereason lint analyzer rejects free strings — so traces
+// stay machine-comparable across algorithms and PRs.
+type Reason string
+
+const (
+	// ReasonDeadline: constraint (4) — no compute node evaluates the named
+	// dataset within the query's deadline; Node names the finite-delay node
+	// that came closest.
+	ReasonDeadline Reason = "deadline-violated"
+	// ReasonCapacity: constraint (2) — deadline-feasible nodes exist for the
+	// named dataset but none has the computing capacity left; Node names the
+	// feasible node with the most remaining capacity.
+	ReasonCapacity Reason = "capacity-exhausted"
+	// ReasonKBound: constraint (5) — a node with capacity and deadline slack
+	// exists, but serving there needs a new replica and K replicas already
+	// exist elsewhere.
+	ReasonKBound Reason = "k-bound"
+	// ReasonDisconnected: the query's home is unreachable (graph.Infinity
+	// transfer delay) from every compute node for the named dataset.
+	ReasonDisconnected Reason = "disconnected"
+	// ReasonBundleInfeasible: every demand of the bundle is individually
+	// serveable, but no joint assignment was found — capacity interactions
+	// between the bundle's own demands, or heuristic limitations of the
+	// algorithm (e.g. Greedy burning its K probe slots on infeasible nodes).
+	ReasonBundleInfeasible Reason = "bundle-infeasible"
+)
+
+// Trace event kinds.
+const (
+	// EventBegin opens a run: Algo and Label identify the algorithm and the
+	// instance (the experiments drivers set the label to the sweep point).
+	EventBegin = "begin"
+	// EventPhase closes one engine phase (proactive placement, admission
+	// ascent); ElapsedNs carries its duration when timings are kept.
+	EventPhase = "phase"
+	// EventReplica records a replica placed outside an admission.
+	EventReplica = "replica"
+	// EventAdmit records one admitted query with its per-demand assignment.
+	EventAdmit = "admit"
+	// EventReject records one permanently rejected query with a typed
+	// Reason.
+	EventReject = "reject"
+	// EventEnd closes a run with the objective achieved.
+	EventEnd = "end"
+)
+
+// TraceEvent is one line of a trace. Query, Dataset, and Node are -1 when
+// the event is not scoped to one (NewTraceEvent sets them); JSON field order
+// is fixed by this declaration, which the byte-identical goldens rely on.
+type TraceEvent struct {
+	Seq   int64  `json:"seq"`
+	Run   int64  `json:"run"`
+	Event string `json:"event"`
+	Algo  string `json:"algo"`
+	Label string `json:"label,omitempty"`
+	Phase string `json:"phase,omitempty"`
+	Query int64  `json:"query"`
+	Round int64  `json:"round,omitempty"`
+	// Reason, Dataset, Node attribute a rejection (reject events).
+	Reason  Reason `json:"reason,omitempty"`
+	Dataset int64  `json:"dataset"`
+	Node    int64  `json:"node"`
+	// Datasets and Nodes are the parallel per-demand assignment of an admit
+	// event (Datasets[i] served from Nodes[i]).
+	Datasets []int64 `json:"datasets,omitempty"`
+	Nodes    []int64 `json:"nodes,omitempty"`
+	// Volume is the demanded volume admitted by this event (admit) or in
+	// total (end).
+	Volume float64 `json:"volume,omitempty"`
+	// ElapsedNs is wall-clock and therefore nondeterministic; the JSONL sink
+	// zeroes it unless IncludeTimings is set.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
+}
+
+// NewTraceEvent returns an event of the given kind with the entity fields
+// set to the -1 "not applicable" sentinel.
+func NewTraceEvent(event, algo string) TraceEvent {
+	return TraceEvent{Event: event, Algo: algo, Query: -1, Dataset: -1, Node: -1}
+}
+
+// TraceSink consumes trace events. Emit may be called from whichever
+// goroutine runs the engine; sinks serialize internally. Emit owns ev for
+// the duration of the call only.
+type TraceSink interface {
+	Emit(ev *TraceEvent)
+}
+
+// traceSink is the process-global sink; nil means tracing is off and every
+// emission guard is one atomic pointer load.
+var traceSink atomic.Pointer[TraceSink]
+
+// traceRuns numbers runs within the process so interleaved engines stay
+// separable in one trace file.
+var traceRuns atomic.Int64
+
+// traceLabel is the instance label stamped on the next begin event; sweeps
+// set it per point (tracing serializes sweeps, see experiments.forEachSeed).
+var traceLabel atomic.Pointer[string]
+
+// SetTraceSink attaches (or with nil detaches) the process-global sink.
+func SetTraceSink(s TraceSink) {
+	if s == nil {
+		traceSink.Store(nil)
+		return
+	}
+	traceSink.Store(&s)
+}
+
+// TraceActive reports whether a sink is attached — the zero-alloc hot-path
+// guard: engines build events only behind it.
+func TraceActive() bool { return traceSink.Load() != nil }
+
+// EmitTrace delivers ev to the attached sink, if any.
+func EmitTrace(ev *TraceEvent) {
+	if p := traceSink.Load(); p != nil {
+		(*p).Emit(ev)
+	}
+}
+
+// NextTraceRun allocates the next run ID. Engines call it once per run at
+// the begin event.
+func NextTraceRun() int64 { return traceRuns.Add(1) }
+
+// ResetTrace detaches the sink and rewinds the run counter and label —
+// tests use it to make two in-process runs byte-identical.
+func ResetTrace() {
+	traceSink.Store(nil)
+	traceRuns.Store(0)
+	traceLabel.Store(nil)
+}
+
+// SetTraceLabel stamps the given instance label on subsequent begin events
+// ("" clears it). Drivers set it before each algorithm run so a sweep trace
+// records which point each run belongs to.
+func SetTraceLabel(label string) {
+	if label == "" {
+		traceLabel.Store(nil)
+		return
+	}
+	traceLabel.Store(&label)
+}
+
+// TraceLabel returns the current instance label ("" when unset).
+func TraceLabel() string {
+	if p := traceLabel.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// JSONLSink writes one JSON object per line. It assigns Seq numbers under
+// its lock, so a serialized engine produces a totally ordered, replayable
+// trace; ElapsedNs is dropped unless IncludeTimings is set, keeping the
+// default output byte-identical across runs of the same seed.
+type JSONLSink struct {
+	// IncludeTimings keeps the wall-clock ElapsedNs fields, trading the
+	// byte-identical determinism contract for profiling detail.
+	IncludeTimings bool
+
+	mu  sync.Mutex
+	w   *bufio.Writer
+	seq int64
+	err error
+}
+
+// NewJSONLSink wraps w in a JSONL trace sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements TraceSink.
+func (s *JSONLSink) Emit(ev *TraceEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	e := *ev
+	e.Seq = s.seq
+	if !s.IncludeTimings {
+		e.ElapsedNs = 0
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		s.err = fmt.Errorf("instrument: marshal trace event: %w", err)
+		return
+	}
+	if _, err := s.w.Write(data); err != nil {
+		s.err = fmt.Errorf("instrument: write trace: %w", err)
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = fmt.Errorf("instrument: write trace: %w", err)
+	}
+}
+
+// Close flushes buffered events and returns the first emission error.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = fmt.Errorf("instrument: flush trace: %w", err)
+	}
+	return s.err
+}
+
+// ReadTrace parses a JSONL trace back into events — the entry point for
+// invariant.CheckTrace and offline tooling. Blank lines are skipped.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("instrument: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("instrument: read trace: %w", err)
+	}
+	return out, nil
+}
+
+// SplitTraceRuns groups events by run ID, preserving event order within each
+// run and ordering runs by their first event.
+func SplitTraceRuns(events []TraceEvent) [][]TraceEvent {
+	var order []int64
+	byRun := make(map[int64][]TraceEvent)
+	for _, ev := range events {
+		if _, ok := byRun[ev.Run]; !ok {
+			order = append(order, ev.Run)
+		}
+		byRun[ev.Run] = append(byRun[ev.Run], ev)
+	}
+	out := make([][]TraceEvent, 0, len(order))
+	for _, id := range order {
+		out = append(out, byRun[id])
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package instrument
+
+import (
+	"fmt"
+	"os"
+)
+
+// OpenTraceFile creates path, attaches a JSONL sink writing to it as the
+// process-global trace sink, and returns a close function — the shared
+// implementation of the CLIs' -trace flag. The close function detaches the
+// sink, flushes buffered events, closes the file, and returns the first
+// error from any emission; call it exactly once, after the traced work
+// finishes.
+func OpenTraceFile(path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: trace file: %w", err)
+	}
+	sink := NewJSONLSink(f)
+	SetTraceSink(sink)
+	return func() error {
+		SetTraceSink(nil)
+		err := sink.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

@@ -1,0 +1,217 @@
+package instrument
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func emitSampleTrace() {
+	run := NextTraceRun()
+	begin := NewTraceEvent(EventBegin, "appro-g")
+	begin.Run = run
+	begin.Label = TraceLabel()
+	EmitTrace(&begin)
+
+	phase := NewTraceEvent(EventPhase, "appro-g")
+	phase.Run = run
+	phase.Phase = "proactive"
+	phase.ElapsedNs = 12345 // wall-clock: must not survive into default output
+	EmitTrace(&phase)
+
+	admit := NewTraceEvent(EventAdmit, "appro-g")
+	admit.Run = run
+	admit.Query = 3
+	admit.Round = 1
+	admit.Datasets = []int64{0, 2}
+	admit.Nodes = []int64{5, 7}
+	admit.Volume = 1.5
+	EmitTrace(&admit)
+
+	reject := NewTraceEvent(EventReject, "appro-g")
+	reject.Run = run
+	reject.Query = 4
+	reject.Round = 2
+	reject.Reason = ReasonCapacity
+	reject.Dataset = 2
+	reject.Node = 7
+	EmitTrace(&reject)
+
+	end := NewTraceEvent(EventEnd, "appro-g")
+	end.Run = run
+	end.Volume = 1.5
+	EmitTrace(&end)
+}
+
+// TestJSONLSinkDeterministic locks the byte-identical determinism contract:
+// the same logical run serialized twice yields the same bytes, with the
+// nondeterministic ElapsedNs dropped.
+func TestJSONLSinkDeterministic(t *testing.T) {
+	render := func() []byte {
+		ResetTrace()
+		var buf bytes.Buffer
+		sink := NewJSONLSink(&buf)
+		SetTraceSink(sink)
+		SetTraceLabel("n=20 f=1")
+		emitSampleTrace()
+		ResetTrace()
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same run serialized differently:\n%s\n---\n%s", a, b)
+	}
+	if strings.Contains(string(a), "elapsed_ns") {
+		t.Fatalf("default sink leaked wall-clock timings:\n%s", a)
+	}
+	if !strings.Contains(string(a), `"label":"n=20 f=1"`) {
+		t.Fatalf("trace lost the instance label:\n%s", a)
+	}
+}
+
+func TestJSONLSinkIncludeTimings(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.IncludeTimings = true
+	SetTraceSink(sink)
+	emitSampleTrace()
+	SetTraceSink(nil)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"elapsed_ns":12345`) {
+		t.Fatalf("IncludeTimings sink dropped timings:\n%s", buf.String())
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	SetTraceSink(sink)
+	emitSampleTrace()
+	emitSampleTrace() // second run
+	SetTraceSink(nil)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("round-tripped %d events, want 10", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	runs := SplitTraceRuns(events)
+	if len(runs) != 2 {
+		t.Fatalf("split into %d runs, want 2", len(runs))
+	}
+	for _, run := range runs {
+		if len(run) != 5 {
+			t.Fatalf("run has %d events, want 5", len(run))
+		}
+		if run[0].Event != EventBegin || run[len(run)-1].Event != EventEnd {
+			t.Fatalf("run not begin...end: %v", run)
+		}
+	}
+	admit := runs[0][2]
+	if admit.Event != EventAdmit || admit.Query != 3 ||
+		len(admit.Datasets) != 2 || admit.Datasets[1] != 2 || admit.Nodes[1] != 7 {
+		t.Fatalf("admit event corrupted in round trip: %+v", admit)
+	}
+	reject := runs[0][3]
+	if reject.Reason != ReasonCapacity || reject.Dataset != 2 || reject.Node != 7 {
+		t.Fatalf("reject event corrupted in round trip: %+v", reject)
+	}
+}
+
+// TestTraceEmissionZeroAllocInactive asserts the hot-path contract: with no
+// sink attached, the emission guard costs zero allocations (ci.sh gates on
+// this test plus BenchmarkTraceEmissionInactive).
+func TestTraceEmissionZeroAllocInactive(t *testing.T) {
+	ResetTrace()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if TraceActive() {
+			ev := NewTraceEvent(EventReject, "appro-g")
+			EmitTrace(&ev)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("inactive trace guard allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func BenchmarkTraceEmissionInactive(b *testing.B) {
+	ResetTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if TraceActive() {
+			ev := NewTraceEvent(EventReject, "appro-g")
+			EmitTrace(&ev)
+		}
+	}
+}
+
+// TestOpenTraceFile covers the CLIs' -trace wiring: events emitted between
+// open and close land in the file as parseable JSONL, and close detaches the
+// global sink.
+func TestOpenTraceFile(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	path := t.TempDir() + "/run.jsonl"
+	closeTrace, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TraceActive() {
+		t.Fatal("OpenTraceFile did not attach a sink")
+	}
+	emitSampleTrace()
+	if err := closeTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if TraceActive() {
+		t.Fatal("close left the trace sink attached")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 || events[0].Event != EventBegin || events[4].Event != EventEnd {
+		t.Fatalf("trace file round trip got %d events: %+v", len(events), events)
+	}
+}
+
+func TestTraceLabelLifecycle(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	if TraceLabel() != "" {
+		t.Fatalf("fresh label = %q, want empty", TraceLabel())
+	}
+	SetTraceLabel("fig2 n=100")
+	if TraceLabel() != "fig2 n=100" {
+		t.Fatalf("label = %q", TraceLabel())
+	}
+	SetTraceLabel("")
+	if TraceLabel() != "" {
+		t.Fatalf("cleared label = %q", TraceLabel())
+	}
+}

@@ -1,0 +1,164 @@
+package invariant
+
+import (
+	"testing"
+
+	"edgerep/internal/baselines"
+	"edgerep/internal/core"
+	"edgerep/internal/instrument"
+	"edgerep/internal/online"
+	"edgerep/internal/placement"
+)
+
+// memorySink collects trace events in order, in process.
+type memorySink struct {
+	events []instrument.TraceEvent
+}
+
+func (m *memorySink) Emit(ev *instrument.TraceEvent) {
+	e := *ev
+	e.Seq = int64(len(m.events) + 1)
+	m.events = append(m.events, e)
+}
+
+// capture runs fn with a fresh in-memory trace sink attached and returns the
+// events of the single run it produced.
+func capture(t *testing.T, fn func()) []instrument.TraceEvent {
+	t.Helper()
+	sink := &memorySink{}
+	instrument.ResetTrace()
+	instrument.SetTraceSink(sink)
+	defer instrument.ResetTrace()
+	fn()
+	runs := instrument.SplitTraceRuns(sink.events)
+	if len(runs) != 1 {
+		t.Fatalf("expected 1 trace run, got %d", len(runs))
+	}
+	return runs[0]
+}
+
+func TestCheckTraceApproG(t *testing.T) {
+	p, _ := feasibleInstance(t, 1)
+	var sol *placement.Solution
+	events := capture(t, func() {
+		res, err := core.ApproG(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol = res.Solution
+	})
+	if vs := CheckTrace(p, events, TraceOptions{Final: sol}); len(vs) != 0 {
+		t.Fatalf("clean Appro-G trace has violations: %v", vs)
+	}
+}
+
+func TestCheckTraceBaselines(t *testing.T) {
+	p, _ := feasibleInstance(t, 2)
+	for _, tc := range []struct {
+		name string
+		run  func(*placement.Problem) (*placement.Solution, error)
+	}{
+		{"greedy-g", baselines.GreedyG},
+		{"graph-g", baselines.GraphG},
+		{"popularity-g", baselines.PopularityG},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var sol *placement.Solution
+			events := capture(t, func() {
+				var err error
+				sol, err = tc.run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if vs := CheckTrace(p, events, TraceOptions{Final: sol}); len(vs) != 0 {
+				t.Fatalf("clean %s trace has violations: %v", tc.name, vs)
+			}
+		})
+	}
+}
+
+func TestCheckTraceOnline(t *testing.T) {
+	p, _ := feasibleInstance(t, 3)
+	var sol *placement.Solution
+	events := capture(t, func() {
+		e := online.NewEngine(p, len(p.Queries), online.Options{})
+		for qi := range p.Queries {
+			if _, err := e.Offer(online.Arrival{Query: p.Queries[qi].ID, AtSec: float64(qi)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.EmitEnd()
+		sol = e.Solution()
+	})
+	if vs := CheckTrace(p, events, TraceOptions{Online: true, Final: sol}); len(vs) != 0 {
+		t.Fatalf("clean online trace has violations: %v", vs)
+	}
+}
+
+func TestCheckTraceCatchesTampering(t *testing.T) {
+	p, _ := feasibleInstance(t, 1)
+	var sol *placement.Solution
+	events := capture(t, func() {
+		res, err := core.ApproG(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol = res.Solution
+	})
+
+	t.Run("forged-volume", func(t *testing.T) {
+		evs := append([]instrument.TraceEvent(nil), events...)
+		forged := false
+		for i := range evs {
+			if evs[i].Event == instrument.EventAdmit {
+				evs[i].Volume += 1
+				forged = true
+				break
+			}
+		}
+		if !forged {
+			t.Fatal("trace has no admit events to forge")
+		}
+		wantKind(t, CheckTrace(p, evs, TraceOptions{Final: sol}), "objective")
+	})
+
+	t.Run("forged-reason", func(t *testing.T) {
+		evs := append([]instrument.TraceEvent(nil), events...)
+		forged := false
+		for i := range evs {
+			if evs[i].Event == instrument.EventReject && evs[i].Reason != instrument.ReasonDisconnected {
+				evs[i].Reason = instrument.ReasonDisconnected
+				forged = true
+				break
+			}
+		}
+		if !forged {
+			t.Skip("instance produced no rejections to forge")
+		}
+		wantKind(t, CheckTrace(p, evs, TraceOptions{Final: sol}), "reject-reason")
+	})
+
+	t.Run("dropped-admit", func(t *testing.T) {
+		var evs []instrument.TraceEvent
+		dropped := false
+		for _, ev := range events {
+			if !dropped && ev.Event == instrument.EventAdmit {
+				dropped = true
+				continue
+			}
+			evs = append(evs, ev)
+		}
+		if !dropped {
+			t.Fatal("trace has no admit events to drop")
+		}
+		vs := CheckTrace(p, evs, TraceOptions{Final: sol})
+		if len(vs) == 0 {
+			t.Fatal("dropping an admit event went undetected")
+		}
+	})
+
+	t.Run("truncated-run", func(t *testing.T) {
+		wantKind(t, CheckTrace(p, events[:len(events)-1], TraceOptions{}), "structure")
+	})
+}

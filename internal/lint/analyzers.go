@@ -335,13 +335,14 @@ var droppedErr = &Analyzer{
 // --- instrreg ---------------------------------------------------------------
 
 // instrReg enforces the instrument package's registration contract
-// (internal/instrument doc): counters and timers are process-global,
-// created in package-level var blocks with a static string-literal name,
-// and each name is registered exactly once. In-function creation would pay
-// the registry mutex on hot paths; duplicate names silently merge metrics.
+// (internal/instrument doc): counters, timers, histograms, and gauges are
+// process-global, created in package-level var blocks with a static
+// string-literal name, and each name is registered exactly once.
+// In-function creation would pay the registry mutex on hot paths;
+// duplicate names silently merge metrics.
 var instrReg = &Analyzer{
 	Name: "instrreg",
-	Doc:  "instrument counters/timers must be package-level vars with unique string-literal names",
+	Doc:  "instrument counters/timers/histograms/gauges must be package-level vars with unique string-literal names",
 	Run: func(r *Repo) []Finding {
 		var out []Finding
 		firstSeen := make(map[string]string) // metric name → position of first registration
@@ -366,7 +367,11 @@ var instrReg = &Analyzer{
 				if !ok || x.Name != instrName {
 					return nil, false
 				}
-				return call, sel.Sel.Name == "NewCounter" || sel.Sel.Name == "NewTimer"
+				switch sel.Sel.Name {
+				case "NewCounter", "NewTimer", "NewHistogram", "NewGauge":
+					return call, true
+				}
+				return nil, false
 			}
 			for _, decl := range f.AST.Decls {
 				switch d := decl.(type) {
@@ -384,7 +389,9 @@ var instrReg = &Analyzer{
 						if !ok {
 							return true
 						}
-						if len(call.Args) != 1 {
+						// NewHistogram is variadic (name, bounds...); the name is
+						// always the first argument.
+						if len(call.Args) < 1 {
 							return true
 						}
 						lit, ok := call.Args[0].(*ast.BasicLit)
@@ -410,6 +417,75 @@ var instrReg = &Analyzer{
 		}
 		return out
 	},
+}
+
+// --- tracereason ------------------------------------------------------------
+
+// traceReason protects the trace vocabulary: rejection reasons are the typed
+// instrument.Reason* constants (internal/instrument trace doc), so traces
+// from different algorithms and PRs stay machine-comparable and
+// invariant.CheckTrace can match recorded reasons against recomputed ones.
+// A free string — a Reason field set to a literal, a Reason("...")
+// conversion, or an assignment of a literal to a .Reason field — forks the
+// vocabulary silently. internal/instrument (which declares the constants)
+// and test files (which forge reasons on purpose) are exempt.
+var traceReason = &Analyzer{
+	Name: "tracereason",
+	Doc:  "trace rejection reasons must be instrument.Reason* constants, never free string literals",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			if f.IsTest || f.Pkg == "internal/instrument" {
+				continue
+			}
+			instrName := importName(f.AST, "edgerep/internal/instrument")
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.KeyValueExpr:
+					// TraceEvent{Reason: "..."} (or any Reason field literal).
+					if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Reason" && isStringLit(v.Value) {
+						out = append(out, Finding{Pos: r.pos(v.Value), Analyzer: "tracereason",
+							Message: "rejection Reason set from a free string literal; use the instrument.Reason* constants"})
+					}
+				case *ast.AssignStmt:
+					// ev.Reason = "..."
+					for i, lhs := range v.Lhs {
+						sel, ok := lhs.(*ast.SelectorExpr)
+						if !ok || sel.Sel.Name != "Reason" || i >= len(v.Rhs) {
+							continue
+						}
+						if isStringLit(v.Rhs[i]) {
+							out = append(out, Finding{Pos: r.pos(v.Rhs[i]), Analyzer: "tracereason",
+								Message: "rejection Reason assigned a free string literal; use the instrument.Reason* constants"})
+						}
+					}
+				case *ast.CallExpr:
+					// instrument.Reason("...") conversion.
+					if instrName == "" {
+						return true
+					}
+					sel, ok := v.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Reason" {
+						return true
+					}
+					if x, ok := sel.X.(*ast.Ident); !ok || x.Name != instrName {
+						return true
+					}
+					if len(v.Args) == 1 && isStringLit(v.Args[0]) {
+						out = append(out, Finding{Pos: r.pos(v), Analyzer: "tracereason",
+							Message: "instrument.Reason conversion of a free string literal; use the instrument.Reason* constants"})
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+func isStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
 }
 
 // exprString renders a short source-ish form of e for messages.

@@ -259,6 +259,106 @@ var (
 )
 `,
 	},
+	{
+		name:     "histogram inside function flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() { _ = instrument.NewHistogram("fix.delay", 1, 5) }
+`,
+		wantSub: "inside a function",
+	},
+	{
+		name:     "duplicate gauge vs histogram name flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var (
+	h = instrument.NewHistogram("fix.util", 1, 5)
+	g = instrument.NewGauge("fix.util")
+)
+`,
+		wantSub: "already registered",
+	},
+	{
+		name:     "non-literal gauge name flagged",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var name = "fix.util"
+var g = instrument.NewGauge(name)
+`,
+		wantSub: "string literal",
+	},
+	{
+		name:     "package-level histogram and gauge ok",
+		analyzer: "instrreg",
+		src: `package fix
+import "edgerep/internal/instrument"
+var (
+	h = instrument.NewHistogram("fix.delay", 0.1, 1, 10)
+	g = instrument.NewGauge("fix.util")
+)
+`,
+	},
+
+	// --- tracereason ---
+	{
+		name:     "free-string Reason field flagged",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() instrument.TraceEvent {
+	return instrument.TraceEvent{Reason: "out-of-luck"}
+}
+`,
+		wantSub: "free string literal",
+	},
+	{
+		name:     "free-string Reason assignment flagged",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() {
+	var ev instrument.TraceEvent
+	ev.Reason = "nope"
+	_ = ev
+}
+`,
+		wantSub: "free string literal",
+	},
+	{
+		name:     "Reason conversion of literal flagged",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() instrument.Reason { return instrument.Reason("made-up") }
+`,
+		wantSub: "Reason conversion",
+	},
+	{
+		name:     "typed Reason constants ok",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f(capacityLeft bool) instrument.TraceEvent {
+	ev := instrument.TraceEvent{Reason: instrument.ReasonDeadline}
+	if !capacityLeft {
+		ev.Reason = instrument.ReasonCapacity
+	}
+	return ev
+}
+`,
+	},
+	{
+		name:     "test files exempt from tracereason",
+		analyzer: "tracereason",
+		filename: "internal/fix/fix_test.go",
+		src: `package fix
+import "edgerep/internal/instrument"
+func forge() instrument.Reason { return instrument.Reason("forged-for-tampering-test") }
+`,
+	},
 }
 
 func TestAnalyzerFixtures(t *testing.T) {

@@ -251,6 +251,7 @@ func Analyzers() []*Analyzer {
 		infSentinel,
 		droppedErr,
 		instrReg,
+		traceReason,
 	}
 }
 

@@ -125,6 +125,10 @@ type Engine struct {
 	// preferredSites are the forecast-derived proactive sites; replicas at
 	// a preferred site open at zero µ price.
 	preferredSites map[workload.DatasetID]map[graph.NodeID]bool
+
+	// traceRun identifies this engine's span in emitted trace events
+	// (trace.go).
+	traceRun int64
 }
 
 // NewEngine builds an online engine over a placement problem. The problem's
@@ -141,6 +145,7 @@ func NewEngine(p *placement.Problem, expectedArrivals int, opt Options) *Engine 
 	if opt.Forecast != nil {
 		e.prePlace(opt.Forecast)
 	}
+	e.beginTrace()
 	return e
 }
 
@@ -299,8 +304,10 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 		e.sol.Admit(a.Query, as)
 		e.res.Admitted++
 		e.res.VolumeAdmitted += q.DemandedVolume(e.p.Datasets)
+		e.emitAdmit(a, as)
 	} else {
 		e.res.Rejected++
+		e.emitReject(a)
 	}
 	e.res.Decisions = append(e.res.Decisions, dec)
 	return dec, nil

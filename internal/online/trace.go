@@ -1,0 +1,97 @@
+// Trace emission for the online engine. Event construction is gated behind
+// instrument.TraceActive so Offer stays allocation-free (beyond its own
+// planning state) when no sink is attached.
+//
+// Online capacity is temporal — allocations are released when their hold
+// expires — so a replayed trace cannot reconstruct instantaneous load.
+// invariant.CheckTrace is therefore run in online mode against these traces
+// (capacity-dependent rejection reasons are trusted; deadline and
+// disconnection are still recomputed from first principles).
+package online
+
+import (
+	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
+	"edgerep/internal/placement"
+)
+
+// histOnlineQueryDelay is the response delay (max evaluation delay over the
+// bundle) of each query admitted online.
+var histOnlineQueryDelay = instrument.NewHistogram("online.query_delay_seconds", instrument.DefaultDelayBuckets...)
+
+const traceAlgo = "online"
+
+// beginTrace opens the engine's trace span (no-op without a sink).
+func (e *Engine) beginTrace() {
+	if !instrument.TraceActive() {
+		return
+	}
+	e.traceRun = instrument.NextTraceRun()
+	ev := instrument.NewTraceEvent(instrument.EventBegin, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Label = instrument.TraceLabel()
+	instrument.EmitTrace(&ev)
+}
+
+// emitAdmit records one admitted arrival and feeds the delay histogram.
+func (e *Engine) emitAdmit(a Arrival, as []placement.Assignment) {
+	if instrument.Enabled() {
+		worst := 0.0
+		for _, asg := range as {
+			if delay, ok := e.p.EvalDelay(a.Query, asg.Dataset, asg.Node); ok && delay > worst {
+				worst = delay
+			}
+		}
+		if len(as) > 0 {
+			histOnlineQueryDelay.Observe(worst)
+		}
+	}
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventAdmit, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Query = int64(a.Query)
+	for _, asg := range as {
+		ev.Datasets = append(ev.Datasets, int64(asg.Dataset))
+		ev.Nodes = append(ev.Nodes, int64(asg.Node))
+		ev.Volume += e.p.Datasets[asg.Dataset].SizeGB
+	}
+	instrument.EmitTrace(&ev)
+}
+
+// emitReject classifies the rejected arrival against the instantaneous load
+// and records the typed reason.
+func (e *Engine) emitReject(a Arrival) {
+	if !instrument.TraceActive() {
+		return
+	}
+	maxU := e.opt.maxUtil()
+	reason, ds, node := placement.ClassifyRejection(e.p, a.Query, placement.RejectionState{
+		Avail: func(v graph.NodeID) float64 {
+			return e.p.Cloud.Capacity(v)*maxU - e.used[v]
+		},
+		HasReplica:   e.sol.HasReplica,
+		ReplicaCount: e.sol.ReplicaCount,
+	})
+	ev := instrument.NewTraceEvent(instrument.EventReject, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Query = int64(a.Query)
+	ev.Reason = reason
+	ev.Dataset = int64(ds)
+	ev.Node = int64(node)
+	instrument.EmitTrace(&ev)
+}
+
+// EmitEnd closes the engine's trace span with the volume admitted so far.
+// Drivers call it once the arrival stream is exhausted; further Offers are
+// still legal but will not re-open the span.
+func (e *Engine) EmitEnd() {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventEnd, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Volume = e.res.VolumeAdmitted
+	instrument.EmitTrace(&ev)
+}

@@ -1,0 +1,90 @@
+// Package ops is the opt-in live observability endpoint of the long-running
+// binaries (cmd/edgerepsim, cmd/edgereptestbed expose it as -http <addr>).
+// It serves:
+//
+//	/metrics        the instrument registry in Prometheus text format
+//	/progress       the running figure sweep as JSON (internal/experiments)
+//	/debug/pprof/*  the standard net/http/pprof profiling handlers
+//
+// The endpoint is read-only and unauthenticated; it is meant for localhost
+// profiling of a sweep in flight, not for exposure beyond the machine.
+package ops
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"edgerep/internal/experiments"
+	"edgerep/internal/instrument"
+)
+
+// Handler returns the ops endpoint's route table.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", metricsHandler)
+	mux.HandleFunc("/progress", progressHandler)
+	// pprof registers on DefaultServeMux at import; route it explicitly so
+	// the endpoint works on this private mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", indexHandler)
+	return mux
+}
+
+func metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := instrument.WritePrometheus(w); err != nil {
+		// Headers are already out; all we can do is cut the response short.
+		return
+	}
+}
+
+func progressHandler(w http.ResponseWriter, _ *http.Request) {
+	data, err := experiments.ProgressJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+func indexHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := io.WriteString(w,
+		"edgerep ops endpoint\n\n/metrics\n/progress\n/debug/pprof/\n"); err != nil {
+		return
+	}
+}
+
+// Serve binds addr and serves the ops endpoint in a background goroutine.
+// It returns the bound address (useful with ":0") and a shutdown function.
+// Metric collection is enabled as a side effect: a live endpoint without
+// live counters would read all zeros.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	instrument.Enable()
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has no
+		// caller left to report to.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,107 @@
+package placement
+
+import (
+	"math"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
+	"edgerep/internal/workload"
+)
+
+// RejectionState is the resource view a rejection is classified against:
+// remaining capacity per node and the materialized replica layout at the
+// moment the query failed. Engines adapt their own bookkeeping (dense
+// slices in core, maps in the baselines, instantaneous load online) through
+// these three accessors.
+type RejectionState struct {
+	// Avail returns the remaining allocatable GHz on a compute node.
+	Avail func(v graph.NodeID) float64
+	// HasReplica reports whether the dataset currently has a replica at v.
+	HasReplica func(n workload.DatasetID, v graph.NodeID) bool
+	// ReplicaCount returns the dataset's current replica count (toward K).
+	ReplicaCount func(n workload.DatasetID) int
+}
+
+// ClassifyRejection attributes a rejected query to the paper constraint
+// that killed it, returning the typed reason plus the dataset and node that
+// localize it (-1 where not applicable). Demands are examined independently
+// in declaration order against the committed state; the first demand that
+// cannot be served in isolation names the cause:
+//
+//	disconnected  every compute node has an infinite evaluation delay
+//	              (the query's home is unreachable, constraint (4) via the
+//	              graph.Infinity sentinel);
+//	deadline      no node evaluates the dataset within the deadline; the
+//	              named node is the finite-delay node that came closest
+//	              (constraint (4));
+//	capacity      deadline-feasible nodes exist but none has the computing
+//	              capacity left; the named node is the feasible one with
+//	              the most remaining capacity (constraint (2));
+//	k-bound       a node with capacity and deadline slack exists, but
+//	              serving there needs a new replica and K replicas already
+//	              exist elsewhere; the named node is the cheapest-delay such
+//	              node (constraint (5)).
+//
+// When every demand is individually serveable the bundle failed jointly —
+// its own demands compete for capacity, or the algorithm's heuristic never
+// reached a feasible joint assignment — and the classification is
+// ReasonBundleInfeasible with no locus. invariant.CheckTrace recomputes
+// this same classification from a replayed trace, so an engine emitting a
+// reason its own state cannot justify is a checkable contract violation.
+func ClassifyRejection(p *Problem, q workload.QueryID, st RejectionState) (instrument.Reason, workload.DatasetID, graph.NodeID) {
+	query := &p.Queries[q]
+	for _, dm := range query.Demands {
+		need := p.ComputeNeed(q, dm.Dataset)
+
+		bestFinite := graph.NodeID(-1)
+		bestFiniteDelay := math.Inf(1)
+		capNode := graph.NodeID(-1) // feasible node with most remaining capacity
+		capBest := math.Inf(-1)
+		kNode := graph.NodeID(-1) // min-delay feasible node with capacity
+		kBestDelay := math.Inf(1)
+		feasible := false   // some node meets the deadline
+		servable := false   // ... with capacity and replica allowance
+		capacityOK := false // ... with capacity (replica allowance aside)
+
+		for _, v := range p.Cloud.ComputeNodes() {
+			delay, ok := p.EvalDelay(q, dm.Dataset, v)
+			if !ok {
+				continue
+			}
+			if !math.IsInf(delay, 1) && delay < bestFiniteDelay {
+				bestFinite, bestFiniteDelay = v, delay
+			}
+			if !p.MeetsDeadline(q, dm.Dataset, v) {
+				continue
+			}
+			feasible = true
+			if avail := st.Avail(v); avail > capBest {
+				capNode, capBest = v, avail
+			}
+			if need > st.Avail(v)+1e-9 {
+				continue
+			}
+			capacityOK = true
+			if delay < kBestDelay {
+				kNode, kBestDelay = v, delay
+			}
+			if st.HasReplica(dm.Dataset, v) || st.ReplicaCount(dm.Dataset) < p.MaxReplicas {
+				servable = true
+				break
+			}
+		}
+		switch {
+		case servable:
+			continue // this demand is not the cause
+		case !feasible && bestFinite == -1:
+			return instrument.ReasonDisconnected, dm.Dataset, -1
+		case !feasible:
+			return instrument.ReasonDeadline, dm.Dataset, bestFinite
+		case !capacityOK:
+			return instrument.ReasonCapacity, dm.Dataset, capNode
+		default:
+			return instrument.ReasonKBound, dm.Dataset, kNode
+		}
+	}
+	return instrument.ReasonBundleInfeasible, -1, -1
+}
