@@ -30,6 +30,11 @@ echo "== trace gates (zero-alloc inactive emission + deterministic JSONL golden)
 go test -run 'TestTraceEmissionZeroAllocInactive' ./internal/instrument ./internal/core
 go test -run 'TestTraceGoldenDeterministic' ./internal/experiments
 
+echo "== chaos gates (seeded crash sweep replays clean; failover paths race-clean; wall-clock smoke)"
+go test -run 'TestExtChaosTraceDeterministicAndValid' ./internal/experiments
+go test -race -run 'Crash|Chaos|Failover|Degraded|Retry' ./internal/online ./internal/sim ./internal/testbed ./internal/invariant
+go run ./cmd/edgereptestbed -chaos
+
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkAlgorithmsHeadToHead' -benchtime 1x .
 go test -run '^$' -bench 'BenchmarkTraceEmissionInactive' -benchtime 1x ./internal/instrument

@@ -33,7 +33,7 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "override the number of topology seeds (0 = config default)")
 		queries  = flag.Int("queries", 0, "override the number of queries (0 = config default)")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
-		ext      = flag.Bool("extensions", false, "run the extension experiments (proactive vs reactive, online vs offline, optimality gap)")
+		ext      = flag.Bool("extensions", false, "run the extension experiments (proactive vs reactive, online vs offline, chaos failover, optimality gap)")
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
 		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:8080")
@@ -86,6 +86,7 @@ func main() {
 		}
 		emit(experiments.ProactiveVsReactive(simCfg))
 		emit(experiments.OnlineVsOffline(simCfg, []float64{2, 10, 50, 1000}))
+		emit(experiments.ExtChaos(simCfg, []float64{0, 0.1, 0.2, 0.3}))
 		gapTab, points, err := experiments.OptimalityGap([]int64{1, 2, 3, 4, 5})
 		emit(gapTab, err)
 		worst := 1.0

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sort"
+
+	"edgerep/internal/graph"
+)
+
+// Liveness tracks which compute nodes are currently down. The ledger itself
+// (EdgeCloud) stays capacity-only; failure state lives here so the online
+// engine, the experiment drivers, and the invariant replays share one
+// definition of "this node cannot serve".
+type Liveness struct {
+	down map[graph.NodeID]bool
+}
+
+// NewLiveness starts with every node alive.
+func NewLiveness() *Liveness {
+	return &Liveness{down: make(map[graph.NodeID]bool)}
+}
+
+// MarkDown records node v as crashed. Reports whether the state changed
+// (false when v was already down).
+func (l *Liveness) MarkDown(v graph.NodeID) bool {
+	if l.down[v] {
+		return false
+	}
+	l.down[v] = true
+	return true
+}
+
+// MarkUp records node v as restored. Reports whether the state changed.
+func (l *Liveness) MarkUp(v graph.NodeID) bool {
+	if !l.down[v] {
+		return false
+	}
+	delete(l.down, v)
+	return true
+}
+
+// IsDown reports whether node v is crashed.
+func (l *Liveness) IsDown(v graph.NodeID) bool { return l.down[v] }
+
+// NumDown returns the number of crashed nodes.
+func (l *Liveness) NumDown() int { return len(l.down) }
+
+// DownNodes returns the crashed nodes in ascending order (deterministic
+// iteration for traces and reports).
+func (l *Liveness) DownNodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(l.down))
+	for v := range l.down {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

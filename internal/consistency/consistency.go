@@ -132,6 +132,47 @@ func (m *Manager) sync(n workload.DatasetID) *SyncEvent {
 	return &ev
 }
 
+// RetireReplica removes a crashed replica of dataset n at node v from the
+// propagation set so future syncs stop pushing updates to it. No-op when no
+// such replica is tracked.
+func (m *Manager) RetireReplica(n workload.DatasetID, v graph.NodeID) {
+	nodes := m.replicas[n]
+	for i, node := range nodes {
+		if node == v {
+			m.replicas[n] = append(nodes[:i], nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// ResyncReplica registers a repaired replica of dataset n at node v and
+// accounts the full re-replication from the origin: the entire current
+// dataset (original size plus unsynced dirty volume) crosses the network
+// once, priced at dt(origin → v) like every other propagation. The returned
+// event is also appended to Events/TotalCost — failover repair is exactly
+// the consistency traffic the paper's K bound exists to limit.
+func (m *Manager) ResyncReplica(n workload.DatasetID, v graph.NodeID) (SyncEvent, error) {
+	if int(n) < 0 || int(n) >= len(m.datasets) {
+		return SyncEvent{}, fmt.Errorf("consistency: unknown dataset %d", n)
+	}
+	for _, node := range m.replicas[n] {
+		if node == v {
+			return SyncEvent{}, fmt.Errorf("consistency: dataset %d already has a replica at %d", n, v)
+		}
+	}
+	m.replicas[n] = append(m.replicas[n], v)
+	sort.Slice(m.replicas[n], func(i, j int) bool { return m.replicas[n][i] < m.replicas[n][j] })
+	vol := m.datasets[n].SizeGB + m.dirty[n]
+	ev := SyncEvent{Dataset: n, VolumeGB: vol}
+	origin := m.datasets[n].Origin
+	if v != origin {
+		ev.Replicas = []graph.NodeID{v}
+		ev.CostGBSec = vol * m.top.TransferDelayPerGB(origin, v)
+	}
+	m.events = append(m.events, ev)
+	return ev, nil
+}
+
 // Events returns all sync events fired so far, in order.
 func (m *Manager) Events() []SyncEvent { return m.events }
 

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/invariant"
+	"edgerep/internal/online"
+	"edgerep/internal/workload"
+)
+
+func chaosConfig() SimConfig {
+	c := QuickSimConfig()
+	c.Seeds = []int64{1, 2, 3}
+	return c
+}
+
+func TestCrashScheduleDeterministicAndBounded(t *testing.T) {
+	tc := newTopoCache()
+	cfg := chaosConfig()
+	p, err := tc.instance(1, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := CrashSchedule(p, 0.25, 7, 100)
+	b := CrashSchedule(p, 0.25, 7, 100)
+	if len(a) == 0 {
+		t.Fatal("25% crash schedule is empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	seen := map[int64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].AtSec < 0 || a[i].AtSec > 100 {
+			t.Fatalf("crash time %v outside span", a[i].AtSec)
+		}
+		if i > 0 && a[i].AtSec < a[i-1].AtSec {
+			t.Fatalf("schedule unsorted at %d", i)
+		}
+		if seen[int64(a[i].Node)] {
+			t.Fatalf("node %d crashed twice", a[i].Node)
+		}
+		seen[int64(a[i].Node)] = true
+	}
+	if CrashSchedule(p, 0, 7, 100) != nil {
+		t.Fatal("zero crash fraction produced a schedule")
+	}
+	other := CrashSchedule(p, 0.25, 8, 100)
+	same := len(other) == len(a)
+	if same {
+		identical := true
+		for i := range a {
+			if a[i] != other[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestExtChaosZeroFaultMatchesPlainOnline(t *testing.T) {
+	// With no crashes, the chaos loop must reduce to the plain online
+	// engine: every retry path is dead (first offers are never preceded by
+	// state the plain run lacks) — identical volume, no evictions, no
+	// repairs, no retry-exhausted give-ups affecting admitted volume.
+	tc := newTopoCache()
+	cfg := chaosConfig()
+	p, err := tc.instance(1, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := workload.GenerateArrivals(
+		&workload.Workload{Datasets: p.Datasets, Queries: p.Queries},
+		workload.ArrivalConfig{MeanRatePerSec: 0.5, MeanHoldSec: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunChaosOnline(p, arrivals, nil, online.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Evicted != 0 || out.Repaired != 0 || out.NewReplicas != 0 || out.ResyncGB != 0 {
+		t.Fatalf("fault-free run has failure effects: %+v", out)
+	}
+	// Plain engine over the same arrivals, but rejected queries retried on
+	// the same schedule — i.e. the loop itself, which is what the chaos
+	// series are compared against. The cheap sanity: volume is positive
+	// and deterministic.
+	out2, err := RunChaosOnline(p, arrivals, nil, online.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.VolumeAdmitted != out2.VolumeAdmitted || out.RetryExhausted != out2.RetryExhausted {
+		t.Fatalf("fault-free chaos loop nondeterministic: %+v vs %+v", out, out2)
+	}
+	if out.VolumeAdmitted <= 0 {
+		t.Fatal("fault-free run admitted nothing")
+	}
+}
+
+func TestExtChaosRepairRetainsMoreThanEvictOnly(t *testing.T) {
+	// The acceptance criterion: under a 20% cloudlet crash schedule,
+	// repair retains strictly more admitted volume than evict-only,
+	// aggregated over seeds.
+	tc := newTopoCache()
+	cfg := chaosConfig()
+	var repSum, norepSum, freeSum float64
+	evictions := 0
+	for _, seed := range cfg.Seeds {
+		p, err := tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := workload.GenerateArrivals(
+			&workload.Workload{Datasets: p.Datasets, Queries: p.Queries},
+			workload.ArrivalConfig{MeanRatePerSec: 0.5, MeanHoldSec: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := arrivals[len(arrivals)-1].AtSec
+		crashes := CrashSchedule(p, 0.2, seed, span)
+		if len(crashes) == 0 {
+			t.Fatalf("seed %d: empty 20%% crash schedule", seed)
+		}
+		free, err := RunChaosOnline(p, arrivals, nil, online.Options{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunChaosOnline(p, arrivals, crashes, online.Options{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norep, err := RunChaosOnline(p, arrivals, crashes, online.Options{NoRepair: true}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freeSum += free.VolumeAdmitted
+		repSum += rep.VolumeAdmitted
+		norepSum += norep.VolumeAdmitted
+		evictions += norep.Evicted
+		if rep.VolumeAdmitted < norep.VolumeAdmitted-1e-9 {
+			t.Fatalf("seed %d: repair (%.3f GB) retained less than evict-only (%.3f GB)",
+				seed, rep.VolumeAdmitted, norep.VolumeAdmitted)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("evict-only series evicted nothing — crash schedule never hit a serving node")
+	}
+	if repSum <= norepSum {
+		t.Fatalf("repair retained %.3f GB, evict-only %.3f GB — repair must win strictly", repSum, norepSum)
+	}
+	if norepSum > freeSum+1e-9 {
+		t.Fatalf("evict-only (%.3f GB) exceeds fault-free (%.3f GB)", norepSum, freeSum)
+	}
+}
+
+func TestExtChaosTableDeterministic(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Seeds = []int64{1, 2}
+	fracs := []float64{0, 0.2}
+	a, err := ExtChaos(cfg, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtChaos(cfg, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("ExtChaos nondeterministic:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	// Zero crash fraction: all three volume series coincide exactly.
+	free, _ := a.Get("fault-free", "0")
+	rep, _ := a.Get("crashes + repair", "0")
+	norep, _ := a.Get("crashes, evict only", "0")
+	if free != rep || free != norep {
+		t.Fatalf("zero-fault series diverge: free %.6f, repair %.6f, evict-only %.6f", free, rep, norep)
+	}
+	resync, _ := a.Get("repair resync traffic (GB)", "0")
+	if resync != 0 {
+		t.Fatalf("zero-fault run accounted %.3f GB of resync traffic", resync)
+	}
+	if _, err := ExtChaos(cfg, nil); err == nil {
+		t.Fatal("empty crash sweep accepted")
+	}
+	if _, err := ExtChaos(cfg, []float64{1.5}); err == nil {
+		t.Fatal("crash fraction above 1 accepted")
+	}
+}
+
+func runExtChaosTraced(t *testing.T, cfg SimConfig, fracs []float64) []byte {
+	t.Helper()
+	instrument.ResetTrace()
+	var buf bytes.Buffer
+	sink := instrument.NewJSONLSink(&buf)
+	instrument.SetTraceSink(sink)
+	defer instrument.ResetTrace()
+	if _, err := ExtChaos(cfg, fracs); err != nil {
+		t.Fatal(err)
+	}
+	instrument.ResetTrace()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestExtChaosTraceDeterministicAndValid(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Seeds = []int64{1, 2}
+	fracs := []float64{0.2}
+	raw := runExtChaosTraced(t, cfg, fracs)
+	if !bytes.Equal(raw, runExtChaosTraced(t, cfg, fracs)) {
+		t.Fatal("same chaos sweep traced differently")
+	}
+	events, err := instrument.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := instrument.SplitTraceRuns(events)
+	// Three engine runs per (frac, seed): fault-free, repair, evict-only.
+	want := len(fracs) * len(cfg.Seeds) * 3
+	if len(runs) != want {
+		t.Fatalf("trace has %d runs, want %d", len(runs), want)
+	}
+	tc := newTopoCache()
+	crashes, repairs, evicts := 0, 0, 0
+	ri := 0
+	for range fracs {
+		for _, seed := range cfg.Seeds {
+			p, err := tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 3; j++ {
+				run := runs[ri]
+				ri++
+				if vs := invariant.CheckTrace(p, run, invariant.TraceOptions{Online: true}); len(vs) != 0 {
+					t.Fatalf("run %d (seed %d variant %d) has violations: %v", ri-1, seed, j, vs)
+				}
+				for _, ev := range run {
+					switch ev.Event {
+					case instrument.EventCrash:
+						crashes++
+					case instrument.EventRepair:
+						repairs++
+					case instrument.EventEvict:
+						evicts++
+					}
+				}
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("traced chaos sweep recorded no crash events")
+	}
+	if repairs == 0 {
+		t.Fatal("traced chaos sweep recorded no repair events")
+	}
+	_ = evicts // evictions depend on the schedule; crashes and repairs must appear
+}

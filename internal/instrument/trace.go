@@ -58,6 +58,17 @@ const (
 	// between the bundle's own demands, or heuristic limitations of the
 	// algorithm (e.g. Greedy burning its K probe slots on infeasible nodes).
 	ReasonBundleInfeasible Reason = "bundle-infeasible"
+	// ReasonNodeCrashed: robustness — the query (or one of its serving
+	// replicas) was lost to an injected or observed node crash and no
+	// surviving replica could take over within the instance's constraints.
+	ReasonNodeCrashed Reason = "node-crashed"
+	// ReasonRetryExhausted: robustness — the query was retried under a
+	// deadline-derived budget (capped exponential backoff) and the budget ran
+	// out before any attempt succeeded.
+	ReasonRetryExhausted Reason = "retry-exhausted"
+	// ReasonRepaired: robustness — annotates a repair event: the replica or
+	// assignment was re-established on a surviving node after a crash.
+	ReasonRepaired Reason = "repaired"
 )
 
 // Trace event kinds.
@@ -77,6 +88,16 @@ const (
 	EventReject = "reject"
 	// EventEnd closes a run with the objective achieved.
 	EventEnd = "end"
+	// EventCrash records a node failure: Node names the crashed node, Volume
+	// the admitted demanded volume it was serving at the instant of the crash.
+	EventCrash = "crash"
+	// EventRepair records a replica re-established on a surviving node after a
+	// crash: Dataset/Node name the new placement, Reason is ReasonRepaired.
+	EventRepair = "repair"
+	// EventEvict records a previously admitted query lost to a crash that
+	// repair could not save; Reason attributes why (typically
+	// ReasonNodeCrashed), Volume the demanded volume given back.
+	EventEvict = "evict"
 )
 
 // TraceEvent is one line of a trace. Query, Dataset, and Node are -1 when

@@ -63,6 +63,7 @@ func CheckTrace(p *placement.Problem, events []instrument.TraceEvent, opt TraceO
 		avail[v] = p.Cloud.Available(v)
 	}
 	sol := placement.NewSolution()
+	down := make(map[graph.NodeID]bool)
 	ended := false
 
 	addReplica := func(seq int64, ds workload.DatasetID, v graph.NodeID) {
@@ -143,7 +144,70 @@ func CheckTrace(p *placement.Problem, events []instrument.TraceEvent, opt TraceO
 				add("structure", "event %d: reject of unknown query %d", ev.Seq, ev.Query)
 				continue
 			}
-			checkReject(p, q, ev, avail, sol, opt, add)
+			checkReject(p, q, ev, avail, sol, down, opt, add)
+
+		case instrument.EventCrash:
+			v := graph.NodeID(ev.Node)
+			if _, ok := avail[v]; !ok {
+				add("structure", "event %d: crash of non-compute node %d", ev.Seq, ev.Node)
+				continue
+			}
+			down[v] = true
+			// The node's replicas are gone; repairs must re-establish
+			// presence (3) for every admission it served.
+			for n := range p.Datasets {
+				ds := workload.DatasetID(n)
+				if sol.HasReplica(ds, v) {
+					sol.RemoveReplica(ds, v)
+				}
+			}
+
+		case instrument.EventRepair:
+			q := workload.QueryID(ev.Query)
+			ds := workload.DatasetID(ev.Dataset)
+			v := graph.NodeID(ev.Node)
+			if ev.Reason != instrument.ReasonRepaired {
+				add("structure", "event %d: repair with reason %q", ev.Seq, ev.Reason)
+			}
+			if int(q) < 0 || int(q) >= len(p.Queries) || int(ds) < 0 || int(ds) >= len(p.Datasets) {
+				add("structure", "event %d: repair names unknown query %d or dataset %d", ev.Seq, ev.Query, ev.Dataset)
+				continue
+			}
+			if down[v] {
+				add("repair", "event %d: query %d repaired onto crashed node %d", ev.Seq, q, v)
+			}
+			if !sol.IsAdmitted(q) {
+				add("repair", "event %d: repair of query %d, which the replay has not admitted", ev.Seq, q)
+				continue
+			}
+			if !p.MeetsDeadline(q, ds, v) {
+				add("deadline", "event %d: repair moves query %d dataset %d to node %d violating its deadline",
+					ev.Seq, q, ds, v)
+			}
+			addReplica(ev.Seq, ds, v)
+			if !sol.Reassign(q, ds, v) {
+				add("repair", "event %d: repair of query %d dataset %d, but the replay has no such assignment",
+					ev.Seq, q, ds)
+			}
+
+		case instrument.EventEvict:
+			q := workload.QueryID(ev.Query)
+			if int(q) < 0 || int(q) >= len(p.Queries) {
+				add("structure", "event %d: evict of unknown query %d", ev.Seq, ev.Query)
+				continue
+			}
+			if ev.Reason == "" {
+				add("structure", "event %d: evict of query %d without a reason", ev.Seq, q)
+			}
+			if !sol.IsAdmitted(q) {
+				add("evict", "event %d: evict of query %d, which the replay has not admitted", ev.Seq, q)
+				continue
+			}
+			if vol := p.Queries[q].DemandedVolume(p.Datasets); ev.Volume != 0 && math.Abs(ev.Volume-vol) > volumeEps {
+				add("objective", "event %d: evict of query %d records volume %.6f, its demands sum to %.6f",
+					ev.Seq, q, ev.Volume, vol)
+			}
+			sol.Unadmit(q)
 
 		case instrument.EventEnd:
 			ended = true
@@ -171,8 +235,8 @@ func CheckTrace(p *placement.Problem, events []instrument.TraceEvent, opt TraceO
 // checkReject recomputes the rejection classification against the replayed
 // state and compares it with the recorded reason.
 func checkReject(p *placement.Problem, q workload.QueryID, ev *instrument.TraceEvent,
-	avail map[graph.NodeID]float64, sol *placement.Solution, opt TraceOptions,
-	add func(kind, format string, args ...interface{})) {
+	avail map[graph.NodeID]float64, sol *placement.Solution, down map[graph.NodeID]bool,
+	opt TraceOptions, add func(kind, format string, args ...interface{})) {
 
 	if ev.Reason == "" {
 		add("structure", "event %d: reject of query %d without a reason", ev.Seq, q)
@@ -191,6 +255,26 @@ func checkReject(p *placement.Problem, q workload.QueryID, ev *instrument.TraceE
 
 	if opt.Online {
 		switch ev.Reason {
+		case instrument.ReasonNodeCrashed:
+			// Liveness is replayable from crash events and deadline
+			// feasibility is load-independent, so this classification must
+			// reproduce under infinite capacity with the replayed down set:
+			// some demand's every deadline-feasible node is down.
+			crashed, _, _ := placement.ClassifyRejection(p, q, placement.RejectionState{
+				Avail:        func(graph.NodeID) float64 { return math.Inf(1) },
+				HasReplica:   func(workload.DatasetID, graph.NodeID) bool { return false },
+				ReplicaCount: func(workload.DatasetID) int { return 0 },
+				Down:         func(v graph.NodeID) bool { return down[v] },
+			})
+			if crashed != instrument.ReasonNodeCrashed {
+				add("reject-reason", "event %d: query %d recorded as %q but liveness recomputation says %q",
+					ev.Seq, q, ev.Reason, crashed)
+			}
+			return
+		case instrument.ReasonRetryExhausted:
+			// Retry budgets are wall-clock engine state a replay cannot
+			// reconstruct; trusted, like the capacity-class reasons.
+			return
 		case instrument.ReasonDeadline, instrument.ReasonDisconnected:
 			// Deadline feasibility is load-independent, so these must
 			// reproduce exactly under the capacity-free recomputation.
@@ -227,6 +311,7 @@ func checkReject(p *placement.Problem, q workload.QueryID, ev *instrument.TraceE
 		Avail:        func(v graph.NodeID) float64 { return avail[v] },
 		HasReplica:   sol.HasReplica,
 		ReplicaCount: sol.ReplicaCount,
+		Down:         func(v graph.NodeID) bool { return down[v] },
 	})
 	if reason != ev.Reason {
 		add("reject-reason", "event %d: query %d recorded as %q but replayed state classifies %q",

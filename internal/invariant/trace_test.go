@@ -5,9 +5,11 @@ import (
 
 	"edgerep/internal/baselines"
 	"edgerep/internal/core"
+	"edgerep/internal/graph"
 	"edgerep/internal/instrument"
 	"edgerep/internal/online"
 	"edgerep/internal/placement"
+	"edgerep/internal/workload"
 )
 
 // memorySink collects trace events in order, in process.
@@ -161,4 +163,184 @@ func TestCheckTraceCatchesTampering(t *testing.T) {
 	t.Run("truncated-run", func(t *testing.T) {
 		wantKind(t, CheckTrace(p, events[:len(events)-1], TraceOptions{}), "structure")
 	})
+}
+
+// TestCheckTraceOnlineWithFailover replays a real online run that includes a
+// mid-stream crash: the crash/repair/evict events must reconstruct the
+// engine's final state exactly.
+func TestCheckTraceOnlineWithFailover(t *testing.T) {
+	p, _ := feasibleInstance(t, 5)
+	var sol *placement.Solution
+	events := capture(t, func() {
+		e := online.NewEngine(p, len(p.Queries), online.Options{})
+		half := len(p.Queries) / 2
+		for qi := 0; qi < half; qi++ {
+			if _, err := e.Offer(online.Arrival{Query: p.Queries[qi].ID, AtSec: float64(qi)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Crash the node serving the most assignments so far.
+		counts := map[graph.NodeID]int{}
+		for _, a := range e.Solution().Assignments {
+			counts[a.Node]++
+		}
+		var target graph.NodeID = -1
+		for _, v := range p.Cloud.ComputeNodes() {
+			if counts[v] > 0 && (target == -1 || counts[v] > counts[target]) {
+				target = v
+			}
+		}
+		if target == -1 {
+			t.Fatal("nothing assigned before the crash")
+		}
+		if _, err := e.Crash(float64(half), target); err != nil {
+			t.Fatal(err)
+		}
+		for qi := half; qi < len(p.Queries); qi++ {
+			if _, err := e.Offer(online.Arrival{Query: p.Queries[qi].ID, AtSec: float64(qi)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.EmitEnd()
+		sol = e.Solution()
+	})
+	sawFailover := false
+	for _, ev := range events {
+		if ev.Event == instrument.EventCrash || ev.Event == instrument.EventRepair || ev.Event == instrument.EventEvict {
+			sawFailover = true
+			break
+		}
+	}
+	if !sawFailover {
+		t.Fatal("run emitted no failover events")
+	}
+	if vs := CheckTrace(p, events, TraceOptions{Online: true, Final: sol}); len(vs) != 0 {
+		t.Fatalf("clean failover trace has violations: %v", vs)
+	}
+}
+
+// TestCheckTraceFailoverEventTable feeds hand-rolled traces through the
+// replay: the new reasons and events are accepted exactly where the engine
+// contract allows them and flagged everywhere else.
+func TestCheckTraceFailoverEventTable(t *testing.T) {
+	p, _ := feasibleInstance(t, 6)
+
+	// A query every one of whose demands has a deadline-feasible node.
+	var q workload.QueryID = -1
+	var dss, nodes []int64
+	vol := 0.0
+	for qi := range p.Queries {
+		ok := true
+		var d, n []int64
+		v := 0.0
+		for _, dm := range p.Queries[qi].Demands {
+			fn := p.FeasibleNodes(workload.QueryID(qi), dm.Dataset)
+			if len(fn) == 0 {
+				ok = false
+				break
+			}
+			d = append(d, int64(dm.Dataset))
+			n = append(n, int64(fn[0]))
+			v += p.Datasets[dm.Dataset].SizeGB
+		}
+		if ok {
+			q, dss, nodes, vol = workload.QueryID(qi), d, n, v
+			break
+		}
+	}
+	if q == -1 {
+		t.Fatal("no fully feasible query in the instance")
+	}
+	mk := func(evs ...instrument.TraceEvent) []instrument.TraceEvent {
+		out := append([]instrument.TraceEvent{{Event: instrument.EventBegin, Algo: "online"}}, evs...)
+		for i := range out {
+			out[i].Seq = int64(i + 1)
+			out[i].Run = 1
+		}
+		return out
+	}
+	admit := instrument.TraceEvent{Event: instrument.EventAdmit, Query: int64(q), Datasets: dss, Nodes: nodes, Volume: vol}
+	// Crash events covering every feasible node of q's first demand.
+	var crashAll []instrument.TraceEvent
+	for _, v := range p.FeasibleNodes(q, p.Queries[q].Demands[0].Dataset) {
+		crashAll = append(crashAll, instrument.TraceEvent{Event: instrument.EventCrash, Node: int64(v)})
+	}
+
+	for _, tc := range []struct {
+		name   string
+		events []instrument.TraceEvent
+		online bool
+		want   string // violation kind, "" = clean
+	}{
+		{
+			name: "retry-exhausted trusted online",
+			events: mk(instrument.TraceEvent{Event: instrument.EventReject, Query: int64(q),
+				Reason: instrument.ReasonRetryExhausted, Dataset: -1, Node: -1}),
+			online: true,
+		},
+		{
+			name: "retry-exhausted flagged offline",
+			events: append(mk(instrument.TraceEvent{Event: instrument.EventReject, Query: int64(q),
+				Reason: instrument.ReasonRetryExhausted, Dataset: -1, Node: -1}),
+				instrument.TraceEvent{Event: instrument.EventEnd, Seq: 99, Run: 1}),
+			online: false,
+			want:   "reject-reason",
+		},
+		{
+			name: "node-crashed needs crash events",
+			events: mk(instrument.TraceEvent{Event: instrument.EventReject, Query: int64(q),
+				Reason: instrument.ReasonNodeCrashed, Dataset: dss[0], Node: nodes[0]}),
+			online: true,
+			want:   "reject-reason",
+		},
+		{
+			name: "node-crashed justified by crashes",
+			events: mk(append(append([]instrument.TraceEvent{}, crashAll...),
+				instrument.TraceEvent{Event: instrument.EventReject, Query: int64(q),
+					Reason: instrument.ReasonNodeCrashed, Dataset: dss[0], Node: nodes[0]})...),
+			online: true,
+		},
+		{
+			name:   "repair of unadmitted query",
+			events: mk(instrument.TraceEvent{Event: instrument.EventRepair, Query: int64(q), Dataset: dss[0], Node: nodes[0], Reason: instrument.ReasonRepaired}),
+			online: true,
+			want:   "repair",
+		},
+		{
+			name: "repair onto crashed node",
+			events: mk(admit,
+				instrument.TraceEvent{Event: instrument.EventCrash, Node: nodes[0]},
+				instrument.TraceEvent{Event: instrument.EventRepair, Query: int64(q), Dataset: dss[0], Node: nodes[0], Reason: instrument.ReasonRepaired}),
+			online: true,
+			want:   "repair",
+		},
+		{
+			name:   "evict closes the books",
+			events: mk(admit, instrument.TraceEvent{Event: instrument.EventEvict, Query: int64(q), Reason: instrument.ReasonNodeCrashed, Volume: vol}),
+			online: true,
+		},
+		{
+			name:   "evict with forged volume",
+			events: mk(admit, instrument.TraceEvent{Event: instrument.EventEvict, Query: int64(q), Reason: instrument.ReasonNodeCrashed, Volume: vol + 5}),
+			online: true,
+			want:   "objective",
+		},
+		{
+			name:   "evict of unadmitted query",
+			events: mk(instrument.TraceEvent{Event: instrument.EventEvict, Query: int64(q), Reason: instrument.ReasonNodeCrashed, Volume: vol}),
+			online: true,
+			want:   "evict",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := CheckTrace(p, tc.events, TraceOptions{Online: tc.online})
+			if tc.want == "" {
+				if len(vs) != 0 {
+					t.Fatalf("expected clean replay, got %v", vs)
+				}
+				return
+			}
+			wantKind(t, vs, tc.want)
+		})
+	}
 }

@@ -421,14 +421,49 @@ var instrReg = &Analyzer{
 
 // --- tracereason ------------------------------------------------------------
 
+// reasonVocabulary maps every reason string in the trace vocabulary to the
+// instrument constant that declares it. The analyzer uses it to name the
+// exact constant a flagged literal should have been — including the PR-4
+// robustness reasons (node-crashed, retry-exhausted, repaired), which are the
+// ones most tempting to spell out by hand in failover code.
+var reasonVocabulary = map[string]string{
+	"deadline-violated":  "instrument.ReasonDeadline",
+	"capacity-exhausted": "instrument.ReasonCapacity",
+	"k-bound":            "instrument.ReasonKBound",
+	"disconnected":       "instrument.ReasonDisconnected",
+	"bundle-infeasible":  "instrument.ReasonBundleInfeasible",
+	"node-crashed":       "instrument.ReasonNodeCrashed",
+	"retry-exhausted":    "instrument.ReasonRetryExhausted",
+	"repaired":           "instrument.ReasonRepaired",
+}
+
+// reasonHint appends the vocabulary lookup to a tracereason message: a
+// literal that spells an existing reason gets pointed at its constant; an
+// unknown literal is a vocabulary fork.
+func reasonHint(e ast.Expr) string {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	if c, known := reasonVocabulary[s]; known {
+		return fmt.Sprintf("; this spells %s — use the constant", c)
+	}
+	return "; this string is not in the trace vocabulary at all"
+}
+
 // traceReason protects the trace vocabulary: rejection reasons are the typed
 // instrument.Reason* constants (internal/instrument trace doc), so traces
 // from different algorithms and PRs stay machine-comparable and
 // invariant.CheckTrace can match recorded reasons against recomputed ones.
 // A free string — a Reason field set to a literal, a Reason("...")
-// conversion, or an assignment of a literal to a .Reason field — forks the
-// vocabulary silently. internal/instrument (which declares the constants)
-// and test files (which forge reasons on purpose) are exempt.
+// conversion, an assignment of a literal to a .Reason field, or a ==/!=
+// comparison of a .Reason field against a literal — forks the vocabulary
+// silently. internal/instrument (which declares the constants) and test
+// files (which forge reasons on purpose) are exempt.
 var traceReason = &Analyzer{
 	Name: "tracereason",
 	Doc:  "trace rejection reasons must be instrument.Reason* constants, never free string literals",
@@ -445,7 +480,7 @@ var traceReason = &Analyzer{
 					// TraceEvent{Reason: "..."} (or any Reason field literal).
 					if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Reason" && isStringLit(v.Value) {
 						out = append(out, Finding{Pos: r.pos(v.Value), Analyzer: "tracereason",
-							Message: "rejection Reason set from a free string literal; use the instrument.Reason* constants"})
+							Message: "rejection Reason set from a free string literal; use the instrument.Reason* constants" + reasonHint(v.Value)})
 					}
 				case *ast.AssignStmt:
 					// ev.Reason = "..."
@@ -456,8 +491,23 @@ var traceReason = &Analyzer{
 						}
 						if isStringLit(v.Rhs[i]) {
 							out = append(out, Finding{Pos: r.pos(v.Rhs[i]), Analyzer: "tracereason",
-								Message: "rejection Reason assigned a free string literal; use the instrument.Reason* constants"})
+								Message: "rejection Reason assigned a free string literal; use the instrument.Reason* constants" + reasonHint(v.Rhs[i])})
 						}
+					}
+				case *ast.BinaryExpr:
+					// ev.Reason == "..." (dispatch on a spelled-out reason).
+					// Comparing against "" is the "no reason recorded" check
+					// and stays legal — the empty string is not a reason.
+					if v.Op != token.EQL && v.Op != token.NEQ {
+						return true
+					}
+					for _, pair := range [2][2]ast.Expr{{v.X, v.Y}, {v.Y, v.X}} {
+						sel, ok := pair[0].(*ast.SelectorExpr)
+						if !ok || sel.Sel.Name != "Reason" || !isStringLit(pair[1]) || isEmptyStringLit(pair[1]) {
+							continue
+						}
+						out = append(out, Finding{Pos: r.pos(pair[1]), Analyzer: "tracereason",
+							Message: "rejection Reason compared against a free string literal; use the instrument.Reason* constants" + reasonHint(pair[1])})
 					}
 				case *ast.CallExpr:
 					// instrument.Reason("...") conversion.
@@ -473,7 +523,7 @@ var traceReason = &Analyzer{
 					}
 					if len(v.Args) == 1 && isStringLit(v.Args[0]) {
 						out = append(out, Finding{Pos: r.pos(v), Analyzer: "tracereason",
-							Message: "instrument.Reason conversion of a free string literal; use the instrument.Reason* constants"})
+							Message: "instrument.Reason conversion of a free string literal; use the instrument.Reason* constants" + reasonHint(v.Args[0])})
 					}
 				}
 				return true
@@ -486,6 +536,11 @@ var traceReason = &Analyzer{
 func isStringLit(e ast.Expr) bool {
 	lit, ok := e.(*ast.BasicLit)
 	return ok && lit.Kind == token.STRING
+}
+
+func isEmptyStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
 }
 
 // exprString renders a short source-ish form of e for messages.

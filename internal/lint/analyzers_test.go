@@ -337,6 +337,68 @@ func f() instrument.Reason { return instrument.Reason("made-up") }
 		wantSub: "Reason conversion",
 	},
 	{
+		name:     "spelled-out robustness reason names its constant",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() {
+	var ev instrument.TraceEvent
+	ev.Reason = "node-crashed"
+	_ = ev
+}
+`,
+		wantSub: "instrument.ReasonNodeCrashed",
+	},
+	{
+		name:     "Reason compared against literal flagged",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f(ev instrument.TraceEvent) bool {
+	return ev.Reason == "retry-exhausted"
+}
+`,
+		wantSub: "instrument.ReasonRetryExhausted",
+	},
+	{
+		name:     "repaired literal in composite flagged",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f() instrument.TraceEvent {
+	return instrument.TraceEvent{Reason: "repaired"}
+}
+`,
+		wantSub: "instrument.ReasonRepaired",
+	},
+	{
+		name:     "empty-reason check ok",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f(ev instrument.TraceEvent) bool {
+	return ev.Reason == ""
+}
+`,
+	},
+	{
+		name:     "robustness constants ok",
+		analyzer: "tracereason",
+		src: `package fix
+import "edgerep/internal/instrument"
+func f(crashed bool) instrument.TraceEvent {
+	ev := instrument.TraceEvent{Reason: instrument.ReasonRepaired}
+	if crashed {
+		ev.Reason = instrument.ReasonNodeCrashed
+	}
+	if ev.Reason == instrument.ReasonRetryExhausted {
+		ev.Reason = instrument.ReasonNodeCrashed
+	}
+	return ev
+}
+`,
+	},
+	{
 		name:     "typed Reason constants ok",
 		analyzer: "tracereason",
 		src: `package fix

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 
+	"edgerep/internal/cluster"
+	"edgerep/internal/consistency"
 	"edgerep/internal/graph"
 	"edgerep/internal/placement"
 	"edgerep/internal/workload"
@@ -46,6 +48,10 @@ type Options struct {
 	// MaxUtilization rejects any admission that would push a node above
 	// this fraction of capacity; zero means 1.0 (no headroom reserved).
 	MaxUtilization float64
+	// NoRepair disables failover repair: a crash evicts every query the
+	// node was serving instead of re-replicating. The ablation baseline
+	// the ext-chaos experiment compares repair against.
+	NoRepair bool
 }
 
 func (o Options) priceBase(n int) float64 {
@@ -86,13 +92,21 @@ type Result struct {
 	Rejected       int
 	// PeakUtilization is the highest instantaneous node utilization seen.
 	PeakUtilization float64
+	// Evicted counts previously admitted queries given up after a node
+	// crash left them unservable (failover.go); their volume has already
+	// been subtracted from VolumeAdmitted.
+	Evicted int
 }
 
-// release is a scheduled capacity release.
+// release is a scheduled capacity release. Query and dataset identify the
+// allocation's owner so failover can move or drop in-flight holds when the
+// node crashes.
 type release struct {
-	at   float64
-	node graph.NodeID
-	amt  float64
+	at      float64
+	node    graph.NodeID
+	amt     float64
+	query   workload.QueryID
+	dataset workload.DatasetID
 }
 
 type releaseHeap []release
@@ -129,6 +143,13 @@ type Engine struct {
 	// traceRun identifies this engine's span in emitted trace events
 	// (trace.go).
 	traceRun int64
+
+	// live tracks crashed nodes (failover.go); nil until the first crash
+	// or AttachLiveness, so fault-free runs take zero extra branches per
+	// candidate beyond one nil check.
+	live *cluster.Liveness
+	// cons, when attached, accounts re-replication traffic for repairs.
+	cons *consistency.Manager
 }
 
 // NewEngine builds an online engine over a placement problem. The problem's
@@ -253,14 +274,7 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 		return Decision{}, fmt.Errorf("online: arrival at %.3fs before current time %.3fs", a.AtSec, e.now)
 	}
 	e.now = a.AtSec
-	// Release every allocation that completed before now.
-	for len(e.releases) > 0 && e.releases[0].at <= e.now {
-		r := heap.Pop(&e.releases).(release)
-		e.used[r.node] -= r.amt
-		if e.used[r.node] < 0 {
-			e.used[r.node] = 0
-		}
-	}
+	e.drainReleases()
 
 	q := &e.p.Queries[a.Query]
 	// Plan each demand against instantaneous load; all-or-nothing.
@@ -297,9 +311,14 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 				e.peak = u
 			}
 			e.sol.AddReplica(asg.Dataset, asg.Node)
+			// Hold-forever allocations (HoldSec 0) get a release at +Inf:
+			// it never drains, but failover can still see the hold is live
+			// and move it with full capacity accounting.
+			expiry := math.Inf(1)
 			if a.HoldSec > 0 {
-				heap.Push(&e.releases, release{at: a.AtSec + a.HoldSec, node: asg.Node, amt: need})
+				expiry = a.AtSec + a.HoldSec
 			}
+			e.pushRelease(release{at: expiry, node: asg.Node, amt: need, query: a.Query, dataset: asg.Dataset})
 		}
 		e.sol.Admit(a.Query, as)
 		e.res.Admitted++
@@ -327,6 +346,9 @@ func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
 	var best graph.NodeID = -1
 	bestCost := math.Inf(1)
 	for _, v := range e.p.Cloud.ComputeNodes() {
+		if e.live != nil && e.live.IsDown(v) {
+			continue
+		}
 		delay, ok := e.p.EvalDelay(q, dm.Dataset, v)
 		if !ok || delay > deadline {
 			continue
@@ -352,6 +374,24 @@ func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
 	}
 	return best, best != -1
 }
+
+// drainReleases gives back every allocation whose hold expired by e.now.
+func (e *Engine) drainReleases() {
+	for len(e.releases) > 0 && e.releases[0].at <= e.now {
+		r := heap.Pop(&e.releases).(release)
+		e.used[r.node] -= r.amt
+		if e.used[r.node] < 0 {
+			e.used[r.node] = 0
+		}
+	}
+}
+
+// pushRelease schedules a capacity release.
+func (e *Engine) pushRelease(r release) { heap.Push(&e.releases, r) }
+
+// reheapReleases restores heap order after failover filtered the slice
+// in place.
+func (e *Engine) reheapReleases() { heap.Init(&e.releases) }
 
 // Result returns the accumulated run summary.
 func (e *Engine) Result() Result {

@@ -13,6 +13,7 @@ import (
 	"edgerep/internal/graph"
 	"edgerep/internal/instrument"
 	"edgerep/internal/placement"
+	"edgerep/internal/workload"
 )
 
 // histOnlineQueryDelay is the response delay (max evaluation delay over the
@@ -73,6 +74,7 @@ func (e *Engine) emitReject(a Arrival) {
 		},
 		HasReplica:   e.sol.HasReplica,
 		ReplicaCount: e.sol.ReplicaCount,
+		Down:         e.downPredicate(),
 	})
 	ev := instrument.NewTraceEvent(instrument.EventReject, traceAlgo)
 	ev.Run = e.traceRun
@@ -80,6 +82,71 @@ func (e *Engine) emitReject(a Arrival) {
 	ev.Reason = reason
 	ev.Dataset = int64(ds)
 	ev.Node = int64(node)
+	instrument.EmitTrace(&ev)
+}
+
+// downPredicate exposes liveness to rejection classification; nil (the
+// pre-failover contract) when no node has ever crashed.
+func (e *Engine) downPredicate() func(graph.NodeID) bool {
+	if e.live == nil {
+		return nil
+	}
+	return e.live.IsDown
+}
+
+// emitCrash records a node failure: Node is the crashed node, Volume the
+// demanded volume of the admissions it was serving at that instant.
+func (e *Engine) emitCrash(v graph.NodeID, affectedVolume float64) {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventCrash, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Node = int64(v)
+	ev.Volume = affectedVolume
+	instrument.EmitTrace(&ev)
+}
+
+// emitRepair records one stranded assignment re-pointed at node w.
+func (e *Engine) emitRepair(q workload.QueryID, n workload.DatasetID, w graph.NodeID) {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventRepair, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Query = int64(q)
+	ev.Dataset = int64(n)
+	ev.Node = int64(w)
+	ev.Reason = instrument.ReasonRepaired
+	instrument.EmitTrace(&ev)
+}
+
+// emitEvict records an admitted query given up after a crash; Volume is the
+// demanded volume handed back.
+func (e *Engine) emitEvict(q workload.QueryID, vol float64) {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventEvict, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Query = int64(q)
+	ev.Reason = instrument.ReasonNodeCrashed
+	ev.Volume = vol
+	instrument.EmitTrace(&ev)
+}
+
+// EmitRetryExhausted records that the driver gave up re-offering a rejected
+// query: the retry backoffs have consumed its DeadlineSec budget. Emitted by
+// admission-retry loops (ext-chaos), not by Offer itself — the engine sees
+// each re-offer as an ordinary arrival.
+func (e *Engine) EmitRetryExhausted(q workload.QueryID) {
+	if !instrument.TraceActive() {
+		return
+	}
+	ev := instrument.NewTraceEvent(instrument.EventReject, traceAlgo)
+	ev.Run = e.traceRun
+	ev.Query = int64(q)
+	ev.Reason = instrument.ReasonRetryExhausted
 	instrument.EmitTrace(&ev)
 }
 

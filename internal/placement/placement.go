@@ -130,6 +130,21 @@ func (s *Solution) AddReplica(n workload.DatasetID, v graph.NodeID) {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 }
 
+// RemoveReplica drops the replica of dataset n at node v (a crashed node's
+// replicas are lost); it is a no-op when no such replica exists.
+func (s *Solution) RemoveReplica(n workload.DatasetID, v graph.NodeID) {
+	nodes := s.Replicas[n]
+	for i, node := range nodes {
+		if node == v {
+			s.Replicas[n] = append(nodes[:i], nodes[i+1:]...)
+			if len(s.Replicas[n]) == 0 {
+				delete(s.Replicas, n)
+			}
+			return
+		}
+	}
+}
+
 // ReplicaCount returns the number of replicas of dataset n.
 func (s *Solution) ReplicaCount(n workload.DatasetID) int { return len(s.Replicas[n]) }
 
@@ -138,6 +153,36 @@ func (s *Solution) Admit(q workload.QueryID, assignments []Assignment) {
 	s.Admitted = append(s.Admitted, q)
 	sort.Slice(s.Admitted, func(i, j int) bool { return s.Admitted[i] < s.Admitted[j] })
 	s.Assignments = append(s.Assignments, assignments...)
+}
+
+// Unadmit evicts query q from the solution — its admission and every one of
+// its assignments are removed (failover gives back the volume of queries a
+// crash stranded). No-op when q was never admitted.
+func (s *Solution) Unadmit(q workload.QueryID) {
+	i := sort.Search(len(s.Admitted), func(i int) bool { return s.Admitted[i] >= q })
+	if i >= len(s.Admitted) || s.Admitted[i] != q {
+		return
+	}
+	s.Admitted = append(s.Admitted[:i], s.Admitted[i+1:]...)
+	kept := s.Assignments[:0]
+	for _, a := range s.Assignments {
+		if a.Query != q {
+			kept = append(kept, a)
+		}
+	}
+	s.Assignments = kept
+}
+
+// Reassign points query q's assignment for dataset n at node v (failover
+// repair); it reports whether such an assignment existed.
+func (s *Solution) Reassign(q workload.QueryID, n workload.DatasetID, v graph.NodeID) bool {
+	for i := range s.Assignments {
+		if s.Assignments[i].Query == q && s.Assignments[i].Dataset == n {
+			s.Assignments[i].Node = v
+			return true
+		}
+	}
+	return false
 }
 
 // IsAdmitted reports whether query q was admitted.

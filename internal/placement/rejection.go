@@ -20,6 +20,11 @@ type RejectionState struct {
 	HasReplica func(n workload.DatasetID, v graph.NodeID) bool
 	// ReplicaCount returns the dataset's current replica count (toward K).
 	ReplicaCount func(n workload.DatasetID) int
+	// Down, when non-nil, reports crashed nodes: they cannot serve, and a
+	// query whose only deadline-feasible nodes are down is attributed to
+	// ReasonNodeCrashed rather than a capacity or deadline cause. Nil means
+	// every node is alive (the pre-failover behaviour, bit-identical).
+	Down func(v graph.NodeID) bool
 }
 
 // ClassifyRejection attributes a rejected query to the paper constraint
@@ -49,6 +54,10 @@ type RejectionState struct {
 // this same classification from a replayed trace, so an engine emitting a
 // reason its own state cannot justify is a checkable contract violation.
 func ClassifyRejection(p *Problem, q workload.QueryID, st RejectionState) (instrument.Reason, workload.DatasetID, graph.NodeID) {
+	down := st.Down
+	if down == nil {
+		down = func(graph.NodeID) bool { return false }
+	}
 	query := &p.Queries[q]
 	for _, dm := range query.Demands {
 		need := p.ComputeNeed(q, dm.Dataset)
@@ -59,9 +68,10 @@ func ClassifyRejection(p *Problem, q workload.QueryID, st RejectionState) (instr
 		capBest := math.Inf(-1)
 		kNode := graph.NodeID(-1) // min-delay feasible node with capacity
 		kBestDelay := math.Inf(1)
-		feasible := false   // some node meets the deadline
-		servable := false   // ... with capacity and replica allowance
-		capacityOK := false // ... with capacity (replica allowance aside)
+		crashNode := graph.NodeID(-1) // a down node that would have met the deadline
+		feasible := false             // some live node meets the deadline
+		servable := false             // ... with capacity and replica allowance
+		capacityOK := false           // ... with capacity (replica allowance aside)
 
 		for _, v := range p.Cloud.ComputeNodes() {
 			delay, ok := p.EvalDelay(q, dm.Dataset, v)
@@ -72,6 +82,12 @@ func ClassifyRejection(p *Problem, q workload.QueryID, st RejectionState) (instr
 				bestFinite, bestFiniteDelay = v, delay
 			}
 			if !p.MeetsDeadline(q, dm.Dataset, v) {
+				continue
+			}
+			if down(v) {
+				if crashNode == -1 {
+					crashNode = v
+				}
 				continue
 			}
 			feasible = true
@@ -93,6 +109,8 @@ func ClassifyRejection(p *Problem, q workload.QueryID, st RejectionState) (instr
 		switch {
 		case servable:
 			continue // this demand is not the cause
+		case !feasible && crashNode != -1:
+			return instrument.ReasonNodeCrashed, dm.Dataset, crashNode
 		case !feasible && bestFinite == -1:
 			return instrument.ReasonDisconnected, dm.Dataset, -1
 		case !feasible:

@@ -222,7 +222,10 @@ func (fs *failureSim) redispatch(now float64, tk *fTask) bool {
 	}
 	fresh.attempt = tk.attempt + 1
 	fs.push(now, evArrival, fresh)
-	fs.report.Reassigned++
+	// Reassigned is counted when the retry actually lands on a live node
+	// (evArrival), not here: under simultaneous crashes the chosen target
+	// can itself be down before the fresh arrival pops, and counting at
+	// push time would tally the same task as both reassigned and failed.
 	return true
 }
 
@@ -292,6 +295,9 @@ func (fs *failureSim) run() (*FailureReport, error) {
 					fs.failQuery(tk.query)
 				}
 				continue
+			}
+			if tk.attempt > 0 {
+				fs.report.Reassigned++ // the retry landed on a live node
 			}
 			ns.queue = append(ns.queue, tk)
 			fs.startIfPossible(now, ns)

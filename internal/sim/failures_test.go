@@ -188,6 +188,135 @@ func TestLateFailureAfterCompletionIsHarmless(t *testing.T) {
 	}
 }
 
+func TestSimultaneousAllNodeCrashCountsExactlyOnce(t *testing.T) {
+	// Every compute node crashes at the same instant shortly after all
+	// tasks started. Redispatch targets picked by the first crash events
+	// are themselves down before the retries arrive, so NO task may be
+	// counted as reassigned — the old push-time counting tallied such
+	// tasks as both reassigned and failed.
+	p, sol := solvedInstance(t, 9)
+	if len(sol.Admitted) == 0 {
+		t.Skip("nothing admitted")
+	}
+	var failures []NodeFailure
+	for _, v := range p.Cloud.ComputeNodes() {
+		failures = append(failures, NodeFailure{Node: v, AtSec: 1e-9})
+	}
+	rep, err := RunWithFailures(p, sol, Config{}, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reassigned != 0 {
+		t.Fatalf("%d tasks counted reassigned with every node down", rep.Reassigned)
+	}
+	if len(rep.Queries) != 0 {
+		t.Fatalf("%d queries completed after a full-cluster crash at t≈0", len(rep.Queries))
+	}
+	if len(rep.FailedQueries) != len(sol.Admitted) {
+		t.Fatalf("%d failed != %d admitted", len(rep.FailedQueries), len(sol.Admitted))
+	}
+	// All tasks arrived at t=0, so each was queued or running — aborted
+	// exactly once each.
+	if rep.Aborted != len(sol.Assignments) {
+		t.Fatalf("aborted %d tasks, expected every one of the %d assignments",
+			rep.Aborted, len(sol.Assignments))
+	}
+	seen := map[workload.QueryID]bool{}
+	for _, q := range rep.FailedQueries {
+		if seen[q] {
+			t.Fatalf("query %d failed twice", q)
+		}
+		seen[q] = true
+	}
+}
+
+func TestCrashAtTimeZeroBeforeAnyArrival(t *testing.T) {
+	// AtSec == 0 crashes share the timestamp with every arrival; failure
+	// events were pushed first, so the nodes are already down when tasks
+	// arrive. Nothing ever starts: zero aborts, zero reassignments, every
+	// query fails exactly once, and the run must not wedge or panic.
+	p, sol := solvedInstance(t, 10)
+	if len(sol.Admitted) == 0 {
+		t.Skip("nothing admitted")
+	}
+	var failures []NodeFailure
+	for _, v := range p.Cloud.ComputeNodes() {
+		failures = append(failures, NodeFailure{Node: v, AtSec: 0})
+	}
+	rep, err := RunWithFailures(p, sol, Config{}, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted != 0 {
+		t.Fatalf("aborted %d tasks that never started", rep.Aborted)
+	}
+	if rep.Reassigned != 0 {
+		t.Fatalf("reassigned %d tasks with every node down from t=0", rep.Reassigned)
+	}
+	if len(rep.Queries) != 0 || len(rep.FailedQueries) != len(sol.Admitted) {
+		t.Fatalf("accounting: %d completed, %d failed, %d admitted",
+			len(rep.Queries), len(rep.FailedQueries), len(sol.Admitted))
+	}
+	seen := map[workload.QueryID]bool{}
+	for _, q := range rep.FailedQueries {
+		if seen[q] {
+			t.Fatalf("query %d failed twice", q)
+		}
+		seen[q] = true
+	}
+}
+
+func TestSimultaneousReplicaSetCrashDoesNotOvercountReassigned(t *testing.T) {
+	// Crash exactly the replica set of one dataset at one instant:
+	// every query demanding it fails, and none of its tasks may count as
+	// reassigned even though a sibling replica looked alive when the
+	// first crash event redispatched. Tasks of OTHER datasets aborted on
+	// those same nodes may legitimately land elsewhere.
+	p, sol := solvedInstance(t, 11)
+	var ds workload.DatasetID = -1
+	for n, replicas := range sol.Replicas {
+		if len(replicas) >= 2 {
+			ds = n
+			break
+		}
+	}
+	if ds == -1 {
+		t.Skip("no dataset with 2+ replicas")
+	}
+	var failures []NodeFailure
+	downSet := map[graph.NodeID]bool{}
+	for _, v := range sol.Replicas[ds] {
+		failures = append(failures, NodeFailure{Node: v, AtSec: 1e-9})
+		downSet[v] = true
+	}
+	rep, err := RunWithFailures(p, sol, Config{}, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail := map[workload.QueryID]bool{}
+	for _, a := range sol.Assignments {
+		if a.Dataset == ds && downSet[a.Node] {
+			mustFail[a.Query] = true
+		}
+	}
+	failed := map[workload.QueryID]bool{}
+	for _, q := range rep.FailedQueries {
+		if failed[q] {
+			t.Fatalf("query %d failed twice", q)
+		}
+		failed[q] = true
+	}
+	for q := range mustFail {
+		if !failed[q] {
+			t.Fatalf("query %d demands dataset %d whose whole replica set crashed, yet did not fail", q, ds)
+		}
+	}
+	if len(rep.Queries)+len(rep.FailedQueries) != len(sol.Admitted) {
+		t.Fatalf("accounting: %d completed + %d failed != %d admitted",
+			len(rep.Queries), len(rep.FailedQueries), len(sol.Admitted))
+	}
+}
+
 // solvedInstanceK1 is solvedInstance with the replica bound forced to 1.
 func solvedInstanceK1(t testing.TB, seed int64) (*placement.Problem, *placement.Solution) {
 	t.Helper()

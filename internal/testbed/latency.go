@@ -1,7 +1,9 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +23,42 @@ type LatencyModel struct {
 	// Scale multiplies every injected delay; tests use small scales to
 	// stay fast, experiments use 1.0.
 	Scale float64
+
+	// chaos holds the current fault-injection state (latency spikes,
+	// dropped links). nil — the default — means no disturbance and the
+	// model behaves exactly as before chaos existed; ChaosController is the
+	// only writer.
+	chaos atomic.Pointer[chaosState]
+}
+
+// chaosState is an immutable snapshot of active disturbances; the controller
+// swaps whole snapshots so readers never lock.
+type chaosState struct {
+	// SpikeFactor multiplies every injected delay (on top of Scale);
+	// values <= 0 are treated as 1.
+	SpikeFactor float64
+	// Dropped holds region pairs (key "from|to", symmetric lookup) whose
+	// connections fail immediately, emulating a severed WAN link.
+	Dropped map[string]bool
+}
+
+func (m *LatencyModel) setChaos(st *chaosState) { m.chaos.Store(st) }
+
+// chaosFactor returns the active latency-spike multiplier (1 when no chaos).
+func (m *LatencyModel) chaosFactor() float64 {
+	if st := m.chaos.Load(); st != nil && st.SpikeFactor > 0 {
+		return st.SpikeFactor
+	}
+	return 1
+}
+
+// linkDropped reports whether chaos has severed the a↔b link.
+func (m *LatencyModel) linkDropped(a, b string) bool {
+	st := m.chaos.Load()
+	if st == nil || len(st.Dropped) == 0 {
+		return false
+	}
+	return st.Dropped[a+"|"+b] || st.Dropped[b+"|"+a]
 }
 
 // DefaultLatencyModel returns one-way delays derived from public inter-region
@@ -81,12 +119,29 @@ func (m *LatencyModel) Delay(a, b string, bytes int) time.Duration {
 	if m.BytesPerSec > 0 {
 		total += time.Duration(float64(bytes) / m.BytesPerSec * float64(time.Second))
 	}
-	return time.Duration(float64(total) * m.Scale)
+	return time.Duration(float64(total) * m.Scale * m.chaosFactor())
 }
 
 // sleep blocks for the injected delay of a message.
 func (m *LatencyModel) sleep(a, b string, bytes int) {
-	if d := m.Delay(a, b, bytes); d > 0 {
+	m.sleepCtx(context.Background(), a, b, bytes)
+}
+
+// sleepCtx blocks for the injected delay of a message, returning early when
+// ctx is cancelled so abandoned fanout calls don't sit out a WAN delay.
+func (m *LatencyModel) sleepCtx(ctx context.Context, a, b string, bytes int) {
+	d := m.Delay(a, b, bytes)
+	if d <= 0 {
+		return
+	}
+	if ctx.Done() == nil {
 		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }

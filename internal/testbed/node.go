@@ -2,6 +2,8 @@ package testbed
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -9,14 +11,34 @@ import (
 	"time"
 
 	"edgerep/internal/analytics"
+	"edgerep/internal/instrument"
+	"edgerep/internal/retry"
 	"edgerep/internal/workload"
 )
+
+// Fault-tolerance metrics: retry traffic, budget exhaustion, and graceful
+// degradation on the real-socket path.
+var (
+	statFanoutRetries    = instrument.NewCounter("testbed.fanout_retries")
+	statRetryExhausted   = instrument.NewCounter("testbed.retry_exhausted")
+	statDegradedResps    = instrument.NewCounter("testbed.degraded_responses")
+	histFanoutBackoffSec = instrument.NewHistogram("testbed.fanout_backoff_seconds", instrument.DefaultDelayBuckets...)
+)
+
+// defaultCallBudget bounds a call when the request carries no deadline
+// budget (controller plumbing ops like store/stats/ping).
+const defaultCallBudget = 10 * time.Second
 
 // Node is one emulated VM: a TCP server storing dataset replicas and
 // answering aggregation and evaluation requests.
 type Node struct {
 	Name   string
 	Region string
+
+	// Retry is the fanout backoff policy used by evaluate. StartNode seeds
+	// it deterministically from the node name; tests may override before
+	// the first request.
+	Retry retry.Policy
 
 	lat *LatencyModel
 	ln  net.Listener
@@ -45,6 +67,10 @@ func StartNode(name, region string, lat *LatencyModel) (*Node, error) {
 	n := &Node{
 		Name:   name,
 		Region: region,
+		// Default: 4 attempts (~50/100/200ms backoffs) so a dead replica
+		// set fails in well under a second; deadline-budgeted requests are
+		// additionally bounded by BudgetMillis.
+		Retry:  retry.Policy{MaxAttempts: 4, Seed: nameSeed(name)},
 		lat:    lat,
 		ln:     ln,
 		store:  make(map[int][]workload.UsageRecord),
@@ -53,6 +79,17 @@ func StartNode(name, region string, lat *LatencyModel) (*Node, error) {
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil
+}
+
+// nameSeed hashes a node name into a jitter seed (FNV-1a), so every node
+// retries on its own deterministic schedule and restarts reproduce it.
+func nameSeed(name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h)
 }
 
 // Addr returns the node's TCP address.
@@ -93,11 +130,20 @@ func (n *Node) serve() {
 }
 
 func (n *Node) handle(conn net.Conn) {
+	// Bound the whole exchange: a client that connects and then hangs (or a
+	// chaos-delayed response path) cannot pin this goroutine past the
+	// server timeout.
+	_ = conn.SetDeadline(time.Now().Add(serverConnTimeout))
 	r := bufio.NewReader(conn)
 	var req Request
 	if err := readMsg(r, &req); err != nil {
 		_ = writeMsg(conn, &Response{OK: false, Error: err.Error()})
 		return
+	}
+	if req.BudgetMillis > 0 {
+		// The client granted a longer retry budget (evaluate fanout);
+		// extend the exchange deadline to cover it plus write slack.
+		_ = conn.SetDeadline(time.Now().Add(time.Duration(req.BudgetMillis)*time.Millisecond + serverConnTimeout))
 	}
 	resp := n.dispatch(&req)
 	// Inject the response-path latency before answering: the caller told
@@ -167,18 +213,35 @@ func (n *Node) dispatch(req *Request) *Response {
 
 // evaluate runs a query at this (home) node: fan out to every replica in
 // parallel — the paper's model processes demanded datasets in parallel
-// (§2.3) — merge the partials, finalize.
+// (§2.3) — merge the partials, finalize. Each fanout worker retries its
+// replica candidates under the request's deadline budget with capped
+// exponential backoff; on a fatal failure the shared context cancels the
+// sibling workers so no sub-request outlives the response (the pre-context
+// version raced those dials against Cluster.Close).
 func (n *Node) evaluate(req *Request) *Response {
 	if len(req.Fanout) == 0 {
 		return &Response{OK: false, Error: "testbed: evaluate with empty fanout"}
 	}
-	type partialOrErr struct {
-		p   *analytics.Partial
-		err error
+	budget := defaultCallBudget
+	if req.BudgetMillis > 0 {
+		budget = time.Duration(req.BudgetMillis) * time.Millisecond
 	}
-	results := make(chan partialOrErr, len(req.Fanout))
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	type fanoutResult struct {
+		dataset int
+		p       *analytics.Partial
+		err     error
+	}
+	// Buffered to len(Fanout): workers always complete their send, so the
+	// early-error path below can cancel, drain, and still join every
+	// worker before returning.
+	results := make(chan fanoutResult, len(req.Fanout))
+	var workers sync.WaitGroup
 	for _, target := range req.Fanout {
+		workers.Add(1)
 		go func(tgt FanoutTarget) {
+			defer workers.Done()
 			sub := &Request{
 				Op:         OpAggregate,
 				Dataset:    tgt.Dataset,
@@ -187,31 +250,60 @@ func (n *Node) evaluate(req *Request) *Response {
 			}
 			// Primary first, then alternates in order: a replica that is
 			// down (dial error) or missing the dataset falls through to
-			// the next candidate.
+			// the next candidate; when a whole sweep fails the worker
+			// backs off and retries until the deadline budget runs out.
 			candidates := append([]Endpoint{{Addr: tgt.Addr, Region: tgt.Region}}, tgt.Alternates...)
-			var lastErr error
-			for _, cand := range candidates {
-				resp, err := call(n.lat, n.Region, cand.Region, cand.Addr, sub)
-				if err != nil {
-					lastErr = err
-					continue
+			pol := n.Retry
+			pol.Seed ^= int64(tgt.Dataset) // per-dataset jitter stream
+			runner := retry.Runner{Policy: pol, Done: ctx.Done(), Sleep: n.backoffSleep(ctx)}
+			err := runner.Run(budget, func(attempt int, remaining time.Duration) error {
+				if attempt > 0 {
+					statFanoutRetries.Inc()
 				}
-				if !resp.OK {
-					lastErr = fmt.Errorf("%s", resp.Error)
-					continue
+				var lastErr error
+				for _, cand := range candidates {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					resp, err := callCtx(ctx, n.lat, n.Region, cand.Region, cand.Addr, sub, remaining)
+					if err != nil {
+						lastErr = err
+						continue
+					}
+					if !resp.OK {
+						lastErr = errors.New(resp.Error)
+						continue
+					}
+					results <- fanoutResult{dataset: tgt.Dataset, p: resp.Partial}
+					return nil
 				}
-				results <- partialOrErr{p: resp.Partial}
-				return
+				return fmt.Errorf("all %d replicas failed for dataset %d: %w",
+					len(candidates), tgt.Dataset, lastErr)
+			})
+			if err != nil {
+				if errors.Is(err, retry.ErrBudgetExhausted) {
+					statRetryExhausted.Inc()
+				}
+				results <- fanoutResult{dataset: tgt.Dataset, err: err}
 			}
-			results <- partialOrErr{err: fmt.Errorf("all %d replicas failed for dataset %d: %v",
-				len(candidates), tgt.Dataset, lastErr)}
 		}(target)
 	}
 	var merged *analytics.Partial
+	var failed []int
+	var firstErr error
 	for range req.Fanout {
 		r := <-results
 		if r.err != nil {
-			return &Response{OK: false, Error: r.err.Error()}
+			failed = append(failed, r.dataset)
+			if firstErr == nil {
+				firstErr = r.err
+				if !req.AllowPartial {
+					// Fatal: stop sibling workers now; the loop keeps
+					// draining their (buffered) results.
+					cancel()
+				}
+			}
+			continue
 		}
 		if merged == nil {
 			merged = r.p
@@ -219,22 +311,74 @@ func (n *Node) evaluate(req *Request) *Response {
 			merged.Merge(r.p)
 		}
 	}
+	// Every worker has sent; join them so no goroutine (or its open conns)
+	// outlives this response.
+	cancel()
+	workers.Wait()
+	if firstErr != nil && (!req.AllowPartial || merged == nil) {
+		return &Response{OK: false, Error: firstErr.Error()}
+	}
 	res, err := analytics.Finalize(merged, req.Query)
 	if err != nil {
 		return &Response{OK: false, Error: err.Error()}
 	}
-	return &Response{OK: true, Result: res}
+	resp := &Response{OK: true, Result: res}
+	if firstErr != nil {
+		sort.Ints(failed)
+		resp.Degraded = true
+		resp.FailedDatasets = failed
+		statDegradedResps.Inc()
+	}
+	return resp
+}
+
+// backoffSleep returns the fanout backoff sleeper: a ctx-aware sleep that
+// also records the schedule in the backoff histogram.
+func (n *Node) backoffSleep(ctx context.Context) retry.Sleeper {
+	return func(d time.Duration) {
+		histFanoutBackoffSec.Observe(d.Seconds())
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
 }
 
 // call dials addr, injects the request-path latency, sends the request and
-// reads the response (whose return-path latency the server injects).
+// reads the response (whose return-path latency the server injects) under
+// the default budget — the controller-plumbing entry point.
 func call(lat *LatencyModel, fromRegion, toRegion, addr string, req *Request) (*Response, error) {
-	lat.sleep(fromRegion, toRegion, messageBytes(req))
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return callCtx(context.Background(), lat, fromRegion, toRegion, addr, req, defaultCallBudget)
+}
+
+// callCtx is call with a context and an explicit wall-clock budget: the
+// budget bounds dialing AND the read/write of the exchange (conn deadlines —
+// a peer that accepts and then hangs returns an i/o timeout instead of
+// stalling the fanout), and cancelling ctx aborts the exchange immediately.
+func callCtx(ctx context.Context, lat *LatencyModel, fromRegion, toRegion, addr string, req *Request, budget time.Duration) (*Response, error) {
+	if lat.linkDropped(fromRegion, toRegion) {
+		return nil, fmt.Errorf("testbed: link %s->%s dropped by chaos", fromRegion, toRegion)
+	}
+	lat.sleepCtx(ctx, fromRegion, toRegion, messageBytes(req))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		budget = defaultCallBudget
+	}
+	d := net.Dialer{Timeout: budget}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	// The budget covers the whole exchange; ctx cancellation forces the
+	// pending read/write to fail now rather than at the deadline.
+	_ = conn.SetDeadline(time.Now().Add(budget))
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	if err := writeMsg(conn, req); err != nil {
 		return nil, err
 	}

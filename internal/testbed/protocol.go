@@ -70,6 +70,14 @@ type Request struct {
 	// FromRegion tells the receiver where the message came from so the
 	// response path latency can be injected symmetrically.
 	FromRegion string `json:"from_region,omitempty"`
+	// BudgetMillis is the wall-clock budget for serving this request,
+	// derived from the query's remaining DeadlineSec; 0 means the default
+	// call budget. The home node spends it across fanout retries.
+	BudgetMillis int64 `json:"budget_millis,omitempty"`
+	// AllowPartial lets an evaluate answer with the replicas it could reach
+	// (Response.Degraded) instead of failing the whole query when one
+	// dataset's replicas are all down.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // NodeStats are node-side counters returned by OpStats.
@@ -89,18 +97,28 @@ type Response struct {
 	Stats   *NodeStats         `json:"stats,omitempty"`
 	// AggregateNanos is the server-side time spent scanning records.
 	AggregateNanos int64 `json:"aggregate_nanos,omitempty"`
+	// Degraded marks a partial evaluate result: the query was answered from
+	// the reachable replicas only (AllowPartial graceful degradation).
+	Degraded bool `json:"degraded,omitempty"`
+	// FailedDatasets lists the demanded datasets whose replicas were all
+	// unreachable in a Degraded response, sorted ascending.
+	FailedDatasets []int `json:"failed_datasets,omitempty"`
 }
 
-// writeMsg sends one JSON value followed by newline.
+// serverConnTimeout bounds how long a node keeps one accepted connection
+// alive; handle sets it as the conn deadline so a client that connects and
+// then hangs cannot pin a server goroutine forever.
+const serverConnTimeout = 30 * time.Second
+
+// writeMsg sends one JSON value followed by newline. I/O deadlines are the
+// caller's job: clients derive them from the retry budget (callCtx), servers
+// set serverConnTimeout in handle.
 func writeMsg(conn net.Conn, v interface{}) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("testbed: marshal: %w", err)
 	}
 	b = append(b, '\n')
-	if err := conn.SetWriteDeadline(time.Now().Add(30 * time.Second)); err != nil {
-		return err
-	}
 	_, err = conn.Write(b)
 	return err
 }
