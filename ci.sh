@@ -1,6 +1,7 @@
 #!/bin/sh
 # Repository gate: formatting, vet, repo-specific analyzers (edgerepvet),
-# build, race-enabled tests, bench smoke.
+# build, race-enabled tests, durability (journal/recovery + kill-and-resume
+# byte-identity), bench smoke.
 # Run before every commit. See ARCHITECTURE.md, "CI".
 set -eu
 
@@ -34,6 +35,24 @@ echo "== chaos gates (seeded crash sweep replays clean; failover paths race-clea
 go test -run 'TestExtChaosTraceDeterministicAndValid' ./internal/experiments
 go test -race -run 'Crash|Chaos|Failover|Degraded|Retry' ./internal/online ./internal/sim ./internal/testbed ./internal/invariant
 go run ./cmd/edgereptestbed -chaos
+
+echo "== durability gates (journal + recovery under -race; decode fuzz smoke)"
+go test -race -run 'Journal|Recover|Resume|Torn|Snapshot|Rehydrate|ProcCrash|StateDump' \
+    ./internal/journal ./internal/online ./internal/invariant ./internal/experiments ./internal/testbed
+go test -run '^$' -fuzz '^FuzzJournalDecode$' -fuzztime 5s ./internal/journal
+
+echo "== kill-and-resume gate (traced sweep killed mid-write resumes byte-identical)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/edgerepsim" ./cmd/edgerepsim
+"$tmp/edgerepsim" -fig 2 -quick -csv -trace "$tmp/full.jsonl" > "$tmp/full.csv"
+"$tmp/edgerepsim" -fig 2 -quick -csv -trace "$tmp/crashed.jsonl" \
+    -journal "$tmp/wal" -proc-crash-after 4 > "$tmp/crashed.csv" && {
+    echo "proc-crash run was not killed" >&2; exit 1; } || true
+"$tmp/edgerepsim" -fig 2 -quick -csv -trace "$tmp/resumed.jsonl" \
+    -journal "$tmp/wal" -resume > "$tmp/resumed.csv"
+cmp "$tmp/full.csv" "$tmp/resumed.csv"
+cmp "$tmp/full.jsonl" "$tmp/resumed.jsonl"
 
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkAlgorithmsHeadToHead' -benchtime 1x .

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"edgerep/internal/instrument"
+	"edgerep/internal/journal"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
 )
@@ -33,6 +34,7 @@ func main() {
 		records  = flag.Int("records", 10000, "trace record count")
 		stats    = flag.Bool("stats", false, "collect runtime counters (Dijkstra calls, cache hits) and print them to stderr on exit")
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file; generation emits no admission events, so this records an empty trace unless future kinds admit")
+		jdir     = flag.String("journal", "", "append the admission trace to a crash-consistent WAL in this directory (fsynced per event; survives kill -9, combinable with -trace)")
 	)
 	flag.Parse()
 	if *stats {
@@ -53,6 +55,23 @@ func main() {
 		}
 		defer func() {
 			if err := closeTrace(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *jdir != "" {
+		j, err := journal.Open(*jdir, journal.Options{})
+		if err != nil {
+			fail(err)
+		}
+		ts := journal.NewTraceSink(j)
+		instrument.SetTraceSink(instrument.TeeSink(instrument.CurrentTraceSink(), ts))
+		defer func() {
+			instrument.SetTraceSink(nil)
+			if err := ts.Err(); err != nil {
+				fail(err)
+			}
+			if err := j.Close(); err != nil {
 				fail(err)
 			}
 		}()

@@ -19,6 +19,7 @@ import (
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
 	"edgerep/internal/instrument"
+	"edgerep/internal/journal"
 	"edgerep/internal/placement"
 	"edgerep/internal/routing"
 	"edgerep/internal/topology"
@@ -40,6 +41,7 @@ func main() {
 		wlPath   = flag.String("workload", "", "load the workload from a JSON file (edgerepgen -kind workload) instead of generating")
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
+		jdir     = flag.String("journal", "", "append the admission trace to a crash-consistent WAL in this directory (fsynced per event; survives kill -9, combinable with -trace)")
 	)
 	flag.Parse()
 	if *stats {
@@ -60,6 +62,23 @@ func main() {
 		}
 		defer func() {
 			if err := closeTrace(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *jdir != "" {
+		j, err := journal.Open(*jdir, journal.Options{})
+		if err != nil {
+			fail(err)
+		}
+		ts := journal.NewTraceSink(j)
+		instrument.SetTraceSink(instrument.TeeSink(instrument.CurrentTraceSink(), ts))
+		defer func() {
+			instrument.SetTraceSink(nil)
+			if err := ts.Err(); err != nil {
+				fail(err)
+			}
+			if err := j.Close(); err != nil {
 				fail(err)
 			}
 		}()

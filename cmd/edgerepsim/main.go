@@ -37,6 +37,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "collect runtime counters (cache hits, ascent rounds) and print them to stderr on exit")
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
 		httpAddr = flag.String("http", "", "serve the live ops endpoint (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:8080")
+		jdir     = flag.String("journal", "", "journal finished sweep cells to a WAL in this directory (crash-consistent; resume with -resume)")
+		resume   = flag.Bool("resume", false, "resume a killed journaled run: replay finished cells from -journal, run the rest; output is byte-identical to an uninterrupted run")
+		crashN   = flag.Int("proc-crash-after", 0, "fault injection: kill -9 this process while appending the Nth sweep cell, leaving a torn WAL tail (requires -journal)")
 	)
 	flag.Parse()
 	if *stats {
@@ -53,6 +56,38 @@ func main() {
 		}
 		defer func() {
 			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if (*resume || *crashN > 0) && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "edgerepsim: -resume and -proc-crash-after need -journal")
+		os.Exit(2)
+	}
+	if *jdir != "" {
+		// After the trace sink is attached: the journal pins the run's trace
+		// mode and mirrors trace lines per cell.
+		sj, err := experiments.OpenSweepJournal(*jdir, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *crashN > 0 {
+			sj.SetCrash(*crashN, func() {
+				// A real kill -9: no defers, no flushes — the torn WAL tail
+				// is exactly what a power cut would leave.
+				p, err := os.FindProcess(os.Getpid())
+				if err == nil {
+					_ = p.Kill()
+				}
+				select {}
+			})
+		}
+		experiments.SetSweepJournal(sj)
+		defer func() {
+			experiments.SetSweepJournal(nil)
+			if err := sj.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "edgerepsim: %v\n", err)
 				os.Exit(1)
 			}

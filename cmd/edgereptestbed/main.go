@@ -43,6 +43,8 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve the live ops endpoint (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:8080")
 		chaos     = flag.Bool("chaos", false, "run the wall-clock chaos smoke: seeded kills/restarts and a latency spike against a live cluster while queries keep flowing")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the chaos smoke schedule")
+		jdir      = flag.String("journal", "", "journal finished sweep cells to a WAL in this directory (crash-consistent; resume with -resume)")
+		resume    = flag.Bool("resume", false, "resume a killed journaled run: replay finished model cells from -journal, run the rest (real execution is not repeated for replayed cells)")
 	)
 	flag.Parse()
 	if *stats {
@@ -59,6 +61,25 @@ func main() {
 		}
 		defer func() {
 			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	if *resume && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "edgereptestbed: -resume needs -journal")
+		os.Exit(2)
+	}
+	if *jdir != "" {
+		sj, err := experiments.OpenSweepJournal(*jdir, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.SetSweepJournal(sj)
+		defer func() {
+			experiments.SetSweepJournal(nil)
+			if err := sj.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "edgereptestbed: %v\n", err)
 				os.Exit(1)
 			}

@@ -230,6 +230,19 @@ func ExtChaos(cfg SimConfig, crashFracs []float64) (*metrics.Table, error) {
 		type cell struct{ free, rep, norep, resync float64 }
 		cells := make([]cell, len(cfg.Seeds))
 		err := forEachSeed(cfg.Seeds, func(i int, seed int64) error {
+			sj := activeSweepJournal()
+			key := ""
+			if sj != nil {
+				key = sweepCellKey(t.Title, fmt.Sprintf("%g", frac), seed)
+				vals, replayed, err := sj.replayCell(key, 4)
+				if err != nil {
+					return err
+				}
+				if replayed {
+					cells[i] = cell{free: vals[0], rep: vals[1], norep: vals[2], resync: vals[3]}
+					return nil
+				}
+			}
 			p, err := tc.instance(seed, 30, cfg.NumDatasets, cfg.NumQueries, cfg.F, cfg.K, false)
 			if err != nil {
 				return err
@@ -246,6 +259,10 @@ func ExtChaos(cfg SimConfig, crashFracs []float64) (*metrics.Table, error) {
 			}
 			crashes := CrashSchedule(p, frac, seed, span)
 			statAlgoRuns.Inc()
+			var capture *sweepCapture
+			if sj != nil {
+				capture = sj.beginCell()
+			}
 			free, err := RunChaosOnline(p, arrivals, nil, online.Options{}, seed)
 			if err != nil {
 				return err
@@ -259,6 +276,9 @@ func ExtChaos(cfg SimConfig, crashFracs []float64) (*metrics.Table, error) {
 				return err
 			}
 			cells[i] = cell{free: free.VolumeAdmitted, rep: rep.VolumeAdmitted, norep: norep.VolumeAdmitted, resync: rep.ResyncGB}
+			if sj != nil {
+				return sj.commitCell(key, []float64{cells[i].free, cells[i].rep, cells[i].norep, cells[i].resync}, capture)
+			}
 			return nil
 		})
 		if err != nil {

@@ -226,10 +226,12 @@ func forEachSeed(seeds []int64, fn func(i int, seed int64) error) error {
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	if instrument.TraceActive() {
+	if instrument.TraceActive() || activeSweepJournal() != nil {
 		// A trace must be a totally ordered, replayable event stream; one
 		// worker keeps concurrent seed runs from interleaving in the sink
-		// (and keeps the JSONL output byte-identical across runs).
+		// (and keeps the JSONL output byte-identical across runs). A sweep
+		// journal serializes for the same reason: cells must commit in a
+		// canonical order for a resumed run to be byte-identical.
 		workers = 1
 	}
 	errs := make([]error, len(seeds))
@@ -271,6 +273,22 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 		results := make([][]cell, len(seeds)) // [seed][algo]
 		err := forEachSeed(seeds, func(si int, seed int64) error {
 			results[si] = make([]cell, len(algos))
+			sj := activeSweepJournal()
+			key := ""
+			if sj != nil {
+				key = sweepCellKey(title, fmt.Sprintf("%d", x), seed)
+				vals, replayed, err := sj.replayCell(key, 2*len(algos))
+				if err != nil {
+					return err
+				}
+				if replayed {
+					for ai := range algos {
+						results[si][ai] = cell{vol: vals[2*ai], tp: vals[2*ai+1]}
+						progressStep()
+					}
+					return nil
+				}
+			}
 			p, err := build(seed, x)
 			if err != nil {
 				return fmt.Errorf("experiments: build %s x=%d seed=%d: %w", title, x, seed, err)
@@ -281,6 +299,10 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 				// the whole (x, seed) cell).
 				instrument.SetTraceLabel(fmt.Sprintf("%s x=%d seed=%d", title, x, seed))
 			}
+			var capture *sweepCapture
+			if sj != nil {
+				capture = sj.beginCell()
+			}
 			for ai, a := range algos {
 				sol, err := a.Run(p)
 				if err != nil {
@@ -289,6 +311,13 @@ func sweep(title, xlabel string, xs []int, seeds []int64, algos []Algorithm,
 				statAlgoRuns.Inc()
 				progressStep()
 				results[si][ai] = cell{vol: sol.Volume(p), tp: sol.Throughput(p)}
+			}
+			if sj != nil {
+				vals := make([]float64, 0, 2*len(algos))
+				for ai := range algos {
+					vals = append(vals, results[si][ai].vol, results[si][ai].tp)
+				}
+				return sj.commitCell(key, vals, capture)
 			}
 			return nil
 		})

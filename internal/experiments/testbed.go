@@ -293,6 +293,26 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 		results := make([][]cell, len(cfg.Seeds)) // [seed][algo]
 		runSeed := func(si int, seed int64) error {
 			results[si] = make([]cell, len(algos))
+			sj := activeSweepJournal()
+			key := ""
+			if sj != nil {
+				key = sweepCellKey(title, fmt.Sprintf("%d", x), seed)
+				vals, replayed, err := sj.replayCell(key, 2*len(algos))
+				if err != nil {
+					return err
+				}
+				if replayed {
+					// Model results and trace lines come from the journal;
+					// real execution (Exec stats) is not repeated for
+					// replayed cells — the tables stay byte-identical, the
+					// wall-clock measurements cover only live cells.
+					for ai := range algos {
+						results[si][ai] = cell{vol: vals[2*ai], tp: vals[2*ai+1]}
+						progressStep()
+					}
+					return nil
+				}
+			}
 			top := tops[si]
 			w, err := testbedWorkload(top, seed, cfg.NumDatasets, cfg.NumQueries, f)
 			if err != nil {
@@ -309,6 +329,10 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 			statInstances.Inc()
 			if instrument.TraceActive() {
 				instrument.SetTraceLabel(fmt.Sprintf("%s x=%d seed=%d", title, x, seed))
+			}
+			var capture *sweepCapture
+			if sj != nil {
+				capture = sj.beginCell()
 			}
 			for ai, a := range algos {
 				sol, err := a.Run(p)
@@ -328,6 +352,13 @@ func testbedFigure(cfg TestbedConfig, title, xlabel string, xs []int, split bool
 					}
 					res.Exec[a.Name][x] = stats
 				}
+			}
+			if sj != nil {
+				vals := make([]float64, 0, 2*len(algos))
+				for ai := range algos {
+					vals = append(vals, results[si][ai].vol, results[si][ai].tp)
+				}
+				return sj.commitCell(key, vals, capture)
 			}
 			return nil
 		}

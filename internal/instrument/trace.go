@@ -166,6 +166,47 @@ func SetTraceSink(s TraceSink) {
 // guard: engines build events only behind it.
 func TraceActive() bool { return traceSink.Load() != nil }
 
+// CurrentTraceSink returns the attached sink (nil when tracing is off). The
+// resumable-sweep journal uses it to find the live JSONLSink so replayed
+// trace lines can be re-injected verbatim.
+func CurrentTraceSink() TraceSink {
+	if p := traceSink.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// AdvanceTraceRuns bumps the run counter by n without emitting anything. A
+// resumed sweep calls it for the runs it replays from the journal instead of
+// re-executing, so live runs that follow get the same run IDs — and hence
+// byte-identical traces — as in the uninterrupted sweep.
+func AdvanceTraceRuns(n int64) {
+	if n > 0 {
+		traceRuns.Add(n)
+	}
+}
+
+// teeSink fans every event out to two sinks in order.
+type teeSink struct{ a, b TraceSink }
+
+func (t teeSink) Emit(ev *TraceEvent) {
+	t.a.Emit(ev)
+	t.b.Emit(ev)
+}
+
+// TeeSink returns a sink that forwards each event to a then b (either may be
+// nil, in which case the other is returned directly). The CLIs use it to
+// write a trace file and a durable trace journal from one run.
+func TeeSink(a, b TraceSink) TraceSink {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return teeSink{a: a, b: b}
+}
+
 // EmitTrace delivers ev to the attached sink, if any.
 func EmitTrace(ev *TraceEvent) {
 	if p := traceSink.Load(); p != nil {
@@ -213,10 +254,46 @@ type JSONLSink struct {
 	// byte-identical determinism contract for profiling detail.
 	IncludeTimings bool
 
-	mu  sync.Mutex
-	w   *bufio.Writer
-	seq int64
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	mirror io.Writer
+	seq    int64
+	err    error
+}
+
+// SetMirror attaches (or with nil detaches) a secondary writer that receives
+// an exact copy of every emitted line. The resumable-sweep journal mirrors
+// the lines of each in-flight cell so they can be replayed verbatim — byte
+// for byte — when a crashed sweep resumes.
+func (s *JSONLSink) SetMirror(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mirror = w
+}
+
+// WriteRawLines appends pre-rendered trace lines verbatim (each is written
+// with a trailing newline) and advances the Seq counter by their count, so
+// events emitted afterwards continue the numbering exactly as if the lines
+// had been emitted live. This is how a resumed sweep replays the journaled
+// trace of already-finished cells.
+func (s *JSONLSink) WriteRawLines(lines []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	for _, line := range lines {
+		if _, err := s.w.WriteString(line); err != nil {
+			s.err = fmt.Errorf("instrument: write replayed trace: %w", err)
+			return s.err
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			s.err = fmt.Errorf("instrument: write replayed trace: %w", err)
+			return s.err
+		}
+	}
+	s.seq += int64(len(lines))
+	return nil
 }
 
 // NewJSONLSink wraps w in a JSONL trace sink.
@@ -248,6 +325,12 @@ func (s *JSONLSink) Emit(ev *TraceEvent) {
 	}
 	if err := s.w.WriteByte('\n'); err != nil {
 		s.err = fmt.Errorf("instrument: write trace: %w", err)
+		return
+	}
+	if s.mirror != nil {
+		if _, err := s.mirror.Write(append(data, '\n')); err != nil {
+			s.err = fmt.Errorf("instrument: mirror trace: %w", err)
+		}
 	}
 }
 

@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"edgerep/internal/instrument"
+)
+
+// TraceSink adapts a Journal into an instrument.TraceSink: every admission
+// trace event becomes one durable WAL record (the same JSON encoding as the
+// JSONL trace file, with its own Seq numbering and ElapsedNs dropped for
+// determinism). The offline CLIs (-journal on edgerepplace/edgerepgen) use
+// it so a crash cannot lose decided events, and it tees with the regular
+// trace file via instrument.TeeSink.
+type TraceSink struct {
+	mu  sync.Mutex
+	j   *Journal
+	seq int64
+	err error
+}
+
+// NewTraceSink wraps j. The caller keeps ownership of j and closes it after
+// detaching the sink.
+func NewTraceSink(j *Journal) *TraceSink {
+	return &TraceSink{j: j}
+}
+
+// Emit implements instrument.TraceSink by appending the event to the WAL.
+func (s *TraceSink) Emit(ev *instrument.TraceEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	e := *ev
+	e.Seq = s.seq
+	e.ElapsedNs = 0
+	data, err := json.Marshal(&e)
+	if err != nil {
+		s.err = fmt.Errorf("journal: marshal trace event: %w", err)
+		return
+	}
+	if _, err := s.j.Append(data); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first emission error, if any.
+func (s *TraceSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -293,6 +293,18 @@ var stdlibErrNames = map[string]bool{
 	"Flush":  true,
 }
 
+// fileSyncCloseNames are file-handle methods ((*os.File).Sync/Close and the
+// repo's journal types) whose dropped error silently breaks crash
+// consistency: an unchecked Sync means the WAL record may not be on disk
+// when the caller reports it durable. Because the linter is AST-only (no
+// type info), these names are flagged only when no repo declaration of the
+// name is error-free (Repo.DeclaredWithoutError) — otherwise the bare call
+// might target that error-less method.
+var fileSyncCloseNames = map[string]bool{
+	"Sync":  true,
+	"Close": true,
+}
+
 // droppedErr flags bare call statements that provably discard an error: the
 // callee name is declared in this repo with error as its last result in
 // every declaration, or is a known stdlib encoder/writer method. Deferred
@@ -321,7 +333,8 @@ var droppedErr = &Analyzer{
 				default:
 					return true
 				}
-				if r.ErrorReturning(name) || stdlibErrNames[name] {
+				if r.ErrorReturning(name) || stdlibErrNames[name] ||
+					(fileSyncCloseNames[name] && !r.DeclaredWithoutError(name)) {
 					out = append(out, Finding{Pos: r.pos(stmt), Analyzer: "droppederr",
 						Message: fmt.Sprintf("result of %s is discarded but carries an error; handle it (or assign to _ to discard explicitly)", name)})
 				}

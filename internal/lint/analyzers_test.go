@@ -215,6 +215,39 @@ func (b) Close() {}
 func f(x b) { x.Close() }
 `,
 	},
+	{
+		name:     "bare file Sync flagged on journal write path",
+		analyzer: "droppederr",
+		src: `package fix
+import "os"
+func f(fh *os.File) { fh.Sync() }
+`,
+		wantSub: "result of Sync is discarded",
+	},
+	{
+		name:     "bare file Close flagged when no error-less Close exists",
+		analyzer: "droppederr",
+		src: `package fix
+import "os"
+func f(fh *os.File) { fh.Close() }
+`,
+		wantSub: "result of Close is discarded",
+	},
+	{
+		name:     "checked and explicitly discarded Sync/Close ok",
+		analyzer: "droppederr",
+		src: `package fix
+import "os"
+func f(fh *os.File) error {
+	if err := fh.Sync(); err != nil {
+		return err
+	}
+	defer fh.Close()
+	_ = fh.Sync()
+	return fh.Close()
+}
+`,
+	},
 
 	// --- instrreg ---
 	{

@@ -79,6 +79,11 @@ type Repo struct {
 	// conservative condition under which a bare call statement provably
 	// discards an error.
 	errFuncs map[string]bool
+	// noErrFuncs maps names to whether SOME repo declaration lacks an error
+	// result — the escape hatch droppederr's file-handle rule needs to stay
+	// AST-only: a bare Close()/Sync() is only provably dropping an error
+	// when no error-less declaration of that name exists to call instead.
+	noErrFuncs map[string]bool
 }
 
 // Load parses every .go file under root (skipping testdata and dot
@@ -171,6 +176,7 @@ func (r *Repo) addFile(rel, src string) error {
 func (r *Repo) finish() {
 	sort.Slice(r.Files, func(i, j int) bool { return r.Files[i].Path < r.Files[j].Path })
 	r.errFuncs = make(map[string]bool)
+	r.noErrFuncs = make(map[string]bool)
 	for _, f := range r.Files {
 		for _, decl := range f.AST.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -190,6 +196,9 @@ func (r *Repo) finish() {
 			} else {
 				r.errFuncs[name] = returnsErr
 			}
+			if !returnsErr {
+				r.noErrFuncs[name] = true
+			}
 		}
 	}
 }
@@ -197,6 +206,11 @@ func (r *Repo) finish() {
 // ErrorReturning reports whether every repo-level declaration named name has
 // error as its last result.
 func (r *Repo) ErrorReturning(name string) bool { return r.errFuncs[name] }
+
+// DeclaredWithoutError reports whether at least one repo-level declaration
+// named name has no error last result, making a bare call of that name
+// potentially error-free.
+func (r *Repo) DeclaredWithoutError(name string) bool { return r.noErrFuncs[name] }
 
 // pos converts a node position for reporting.
 func (r *Repo) pos(n ast.Node) token.Position { return r.Fset.Position(n.Pos()) }

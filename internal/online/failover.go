@@ -70,8 +70,12 @@ func (e *Engine) Liveness() *cluster.Liveness {
 }
 
 // Restore marks a crashed node alive again. It comes back empty — replicas
-// re-materialize only through admission or repair.
-func (e *Engine) Restore(v graph.NodeID) { e.Liveness().MarkUp(v) }
+// re-materialize only through admission or repair. The returned error is the
+// journal's (durable engines only; nil otherwise).
+func (e *Engine) Restore(v graph.NodeID) error {
+	e.Liveness().MarkUp(v)
+	return e.journalRestore(v)
+}
 
 // Crash processes the failure of node v at time atSec (non-decreasing, like
 // Offer): the node's replicas and allocations are lost, every assignment it
@@ -86,7 +90,9 @@ func (e *Engine) Crash(atSec float64, v graph.NodeID) (CrashReport, error) {
 	e.drainReleases()
 	rep := CrashReport{Node: v}
 	if !e.Liveness().MarkDown(v) {
-		return rep, nil // already down
+		// Already down: a no-op, but journaled like any other crash input so
+		// replay walks the exact same path.
+		return rep, e.journalCrash(atSec, v, rep, 0)
 	}
 	statCrashes.Inc()
 
@@ -152,7 +158,7 @@ func (e *Engine) Crash(atSec float64, v graph.NodeID) (CrashReport, error) {
 	for _, q := range affected {
 		e.repairQuery(q, byQuery[q], activeHold[q], &rep)
 	}
-	return rep, nil
+	return rep, e.journalCrash(atSec, v, rep, volLost)
 }
 
 // repairQuery re-serves query q's stranded datasets, or evicts it.

@@ -182,7 +182,9 @@ func TestCrashedNodeNotUsedForNewArrivals(t *testing.T) {
 		}
 	}
 	// After restore the node is eligible again (it may or may not win).
-	e.Restore(v)
+	if err := e.Restore(v); err != nil {
+		t.Fatal(err)
+	}
 	if e.Liveness().IsDown(v) {
 		t.Fatal("restore left the node down")
 	}

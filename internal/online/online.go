@@ -21,6 +21,7 @@ import (
 	"edgerep/internal/cluster"
 	"edgerep/internal/consistency"
 	"edgerep/internal/graph"
+	"edgerep/internal/journal"
 	"edgerep/internal/placement"
 	"edgerep/internal/workload"
 )
@@ -52,6 +53,13 @@ type Options struct {
 	// node was serving instead of re-replicating. The ablation baseline
 	// the ext-chaos experiment compares repair against.
 	NoRepair bool
+	// Journal, when non-nil, makes the engine durable: every Offer, Crash,
+	// and Restore is appended to the WAL with its committed outcome before
+	// the call returns (durable.go; recover with online.Recover).
+	Journal *journal.Journal
+	// SnapshotEvery takes a full EngineState snapshot after every Nth
+	// journaled record, bounding replay length; zero means WAL-only.
+	SnapshotEvery int
 }
 
 func (o Options) priceBase(n int) float64 {
@@ -150,6 +158,13 @@ type Engine struct {
 	live *cluster.Liveness
 	// cons, when attached, accounts re-replication traffic for repairs.
 	cons *consistency.Manager
+
+	// jn and snapEvery make the engine durable (durable.go); replaying is
+	// set while Recover drives the input paths from the journal so they do
+	// not re-journal themselves.
+	jn        *journal.Journal
+	snapEvery int
+	replaying bool
 }
 
 // NewEngine builds an online engine over a placement problem. The problem's
@@ -157,11 +172,13 @@ type Engine struct {
 // the K bound come from the problem.
 func NewEngine(p *placement.Problem, expectedArrivals int, opt Options) *Engine {
 	e := &Engine{
-		p:    p,
-		opt:  opt,
-		base: opt.priceBase(expectedArrivals),
-		used: make(map[graph.NodeID]float64),
-		sol:  placement.NewSolution(),
+		p:         p,
+		opt:       opt,
+		base:      opt.priceBase(expectedArrivals),
+		used:      make(map[graph.NodeID]float64),
+		sol:       placement.NewSolution(),
+		jn:        opt.Journal,
+		snapEvery: opt.SnapshotEvery,
 	}
 	if opt.Forecast != nil {
 		e.prePlace(opt.Forecast)
@@ -329,6 +346,9 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 		e.emitReject(a)
 	}
 	e.res.Decisions = append(e.res.Decisions, dec)
+	if err := e.journalOffer(a, dec); err != nil {
+		return dec, err
+	}
 	return dec, nil
 }
 

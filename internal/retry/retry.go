@@ -103,6 +103,12 @@ func (p Policy) Delay(attempt int) time.Duration {
 		u := float64(h>>11) / float64(uint64(1)<<53) // [0,1)
 		d *= 1 + p.JitterFrac*(2*u-1)
 	}
+	// Floor at 1ns: a sub-nanosecond product (tiny Base under downward
+	// jitter) would truncate to 0, and a zero delay turns every budgeted
+	// retry loop into a busy spin — Schedule would grow it forever.
+	if d < 1 {
+		return 1
+	}
 	return time.Duration(d)
 }
 
@@ -110,6 +116,12 @@ func (p Policy) Delay(attempt int) time.Duration {
 // instant attempts: delays are appended while they still fit in what remains
 // of the budget (and MaxAttempts allows another try). Tests and model-time
 // drivers use it to reason about retry behaviour without a clock.
+//
+// A budget that cannot fit even the first backoff delay — including a zero
+// or negative budget — yields an empty schedule: the caller gets exactly one
+// attempt (the initial try is never gated on backoff) and then gives up, it
+// does not busy-retry with zero delays. Every delay is at least 1ns (see
+// Delay), so the loop always consumes budget and terminates.
 func (p Policy) Schedule(budget time.Duration) []time.Duration {
 	p = p.withDefaults()
 	var out []time.Duration

@@ -240,3 +240,58 @@ func TestDoRemainingShrinks(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleBudgetSmallerThanFirstDelay: a budget that cannot fit the
+// first backoff step yields an EMPTY schedule — one attempt, then give up.
+// Regression for the chaos driver handing Schedule a deadline budget already
+// spent by the time the first reject comes back.
+func TestScheduleBudgetSmallerThanFirstDelay(t *testing.T) {
+	p := Policy{Base: 500 * time.Millisecond, Cap: 4 * time.Second, MaxAttempts: 4, Seed: 1}
+	first := p.Delay(0)
+	if got := p.Schedule(first - 1); len(got) != 0 {
+		t.Fatalf("budget %v (< first delay %v) produced schedule %v, want empty", first-1, first, got)
+	}
+	if got := p.Schedule(0); len(got) != 0 {
+		t.Fatalf("zero budget produced schedule %v, want empty", got)
+	}
+	if got := p.Schedule(-time.Second); len(got) != 0 {
+		t.Fatalf("negative budget produced schedule %v, want empty", got)
+	}
+}
+
+// TestScheduleTerminatesOnTinyBase: sub-nanosecond backoff products used to
+// truncate to a zero delay, which never consumed budget — Schedule spun
+// forever growing a slice of zeros. The 1ns floor in Delay makes every step
+// consume budget, so the schedule is finite and free of zero delays.
+func TestScheduleTerminatesOnTinyBase(t *testing.T) {
+	p := Policy{Base: 1, Cap: 2, Multiplier: 1, JitterFrac: 0.9, Seed: 3}
+	done := make(chan []time.Duration, 1)
+	go func() { done <- p.Schedule(100 * time.Nanosecond) }()
+	select {
+	case sched := <-done:
+		if len(sched) == 0 {
+			t.Fatal("tiny-base schedule is empty; budget should fit many 1ns delays")
+		}
+		for i, d := range sched {
+			if d < 1 {
+				t.Fatalf("delay %d is %v; the 1ns floor is gone", i, d)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Schedule did not terminate with a tiny base (zero-delay busy loop)")
+	}
+}
+
+// TestDelayFloorOneNanosecond: the floor applies after jitter, so no
+// parameterization can produce a zero (busy-spin) delay.
+func TestDelayFloorOneNanosecond(t *testing.T) {
+	p := Policy{Base: 1, Cap: 1, Multiplier: 1, JitterFrac: 0.99, Seed: 0}
+	for attempt := 0; attempt < 64; attempt++ {
+		for seed := int64(0); seed < 64; seed++ {
+			p.Seed = seed
+			if d := p.Delay(attempt); d < 1 {
+				t.Fatalf("Delay(attempt=%d, seed=%d) = %v, want >= 1ns", attempt, seed, d)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ var (
 	statChaosRestarts = instrument.NewCounter("testbed.chaos_restarts")
 	statChaosSpikes   = instrument.NewCounter("testbed.chaos_latency_spikes")
 	statChaosDrops    = instrument.NewCounter("testbed.chaos_link_drops")
+	statChaosProcKill = instrument.NewCounter("testbed.chaos_proc_crashes")
 )
 
 // ChaosKind identifies one fault type.
@@ -40,6 +41,12 @@ const (
 	ChaosDropLink ChaosKind = "drop-link"
 	// ChaosClearDrops restores every severed link.
 	ChaosClearDrops ChaosKind = "clear-drops"
+	// ChaosProcCrash kills the controller process mid-write: the placement
+	// WAL is torn halfway into a record and every node dies with the
+	// process. Recovery is journal.Load + Cluster.Rehydrate on a fresh
+	// cluster; the controller's CrashProcess hook (SIGKILL in the CLIs)
+	// makes the death real.
+	ChaosProcCrash ChaosKind = "proc-crash"
 )
 
 // ChaosEvent is one scheduled fault. AtSec is model time from schedule
@@ -126,6 +133,10 @@ type ChaosController struct {
 	// TimeScale converts schedule AtSec to wall seconds in Play (e.g. the
 	// latency scale of a fast test cluster); 0 means 1.
 	TimeScale float64
+	// CrashProcess is what a ChaosProcCrash does after tearing the WAL:
+	// SIGKILL in the CLIs, a no-op in tests (which then observe the torn
+	// journal and dead cluster directly). nil means no-op.
+	CrashProcess func()
 
 	spike float64
 	drops map[string]bool
@@ -165,6 +176,14 @@ func (cc *ChaosController) Apply(ev ChaosEvent) error {
 		statChaosDrops.Inc()
 	case ChaosClearDrops:
 		cc.drops = map[string]bool{}
+	case ChaosProcCrash:
+		if err := cc.cluster.ProcCrash(); err != nil {
+			return err
+		}
+		statChaosProcKill.Inc()
+		if cc.CrashProcess != nil {
+			cc.CrashProcess()
+		}
 	default:
 		return fmt.Errorf("testbed: unknown chaos kind %q", ev.Kind)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edgerep/internal/analytics"
+	"edgerep/internal/journal"
 	"edgerep/internal/workload"
 )
 
@@ -24,6 +25,13 @@ type Cluster struct {
 	// ChaosController; read paths take it shared. Code that does not run
 	// chaos concurrently is unaffected.
 	nodeMu sync.RWMutex
+
+	// placeMu guards the placement journal and its in-memory mirror
+	// (node index → dataset → records, last write wins). Both are nil/empty
+	// until AttachJournal; see durable.go.
+	placeMu sync.Mutex
+	jn      *journal.Journal
+	placed  map[int]map[int][]workload.UsageRecord
 }
 
 // node returns the i-th node under the shared lock.
@@ -125,22 +133,18 @@ func (c *Cluster) RestartNode(i int) error {
 	}
 	n.Retry = old.Retry // reboot keeps the node's retry schedule
 	c.Nodes[i] = n
-	return nil
+	// A journaled cluster re-syncs the rebooted VM from the controller's
+	// durable placement intent instead of leaving it empty.
+	return c.rehydrateNode(i, n)
 }
 
 // Place stores a dataset replica on node i (controller → node, latency
 // injected, real bytes on the wire).
 func (c *Cluster) Place(i int, dataset int, recs []workload.UsageRecord) error {
-	n := c.node(i)
-	req := &Request{Op: OpStore, Dataset: dataset, Records: recs, FromRegion: c.ControllerRegion}
-	resp, err := call(c.lat, c.ControllerRegion, n.Region, n.Addr(), req)
-	if err != nil {
+	if err := c.placeRaw(c.node(i), dataset, recs); err != nil {
 		return err
 	}
-	if !resp.OK {
-		return fmt.Errorf("testbed: place dataset %d on %s: %s", dataset, n.Name, resp.Error)
-	}
-	return nil
+	return c.journalPlace(i, dataset, recs)
 }
 
 // QueryPlan tells Evaluate where a query's home is and which replica serves

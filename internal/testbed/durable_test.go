@@ -1,0 +1,201 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"edgerep/internal/invariant"
+	"edgerep/internal/journal"
+	"edgerep/internal/workload"
+)
+
+// journaledCluster starts a small cluster with a placement WAL in dir.
+func journaledCluster(t *testing.T, dir string) (*Cluster, *journal.Journal) {
+	t.Helper()
+	c := smallCluster(t)
+	j, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachJournal(j)
+	return c, j
+}
+
+// placeScript pushes a deterministic set of placements: dataset d of trace
+// recs goes to nodes d%N and (d*3+1)%N.
+func placeScript(t *testing.T, c *Cluster, recs []workload.UsageRecord, datasets int) {
+	t.Helper()
+	per := len(recs) / datasets
+	for d := 0; d < datasets; d++ {
+		part := recs[d*per : (d+1)*per]
+		for _, i := range []int{d % c.NumNodes(), (d*3 + 1) % c.NumNodes()} {
+			if err := c.Place(i, d, part); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRehydrateAfterProcCrashFieldIdentical(t *testing.T) {
+	recs := testTrace(t, 600)
+	dir := t.TempDir()
+
+	crashed, _ := journaledCluster(t, dir)
+	placeScript(t, crashed, recs, 4)
+	cc := NewChaosController(crashed, nil)
+	killed := false
+	cc.CrashProcess = func() { killed = true }
+	if err := cc.Apply(ChaosEvent{Kind: ChaosProcCrash}); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("CrashProcess hook not invoked")
+	}
+	if err := crashed.Ping(0); err == nil {
+		t.Fatal("node answered ping after proc-crash")
+	}
+
+	st, err := journal.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Torn {
+		t.Fatal("proc-crash left no torn tail")
+	}
+	if len(st.Records) != 8 {
+		t.Fatalf("journal holds %d records, want 8 (two placements of four datasets)", len(st.Records))
+	}
+
+	recovered := smallCluster(t)
+	if err := recovered.Rehydrate(st); err != nil {
+		t.Fatal(err)
+	}
+	reference := smallCluster(t)
+	placeScript(t, reference, recs, 4)
+
+	gotDump, err := recovered.ReplicaDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDump, err := reference.ReplicaDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := invariant.CheckRecovered(gotDump, wantDump); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRehydrateTornRealRecordIsPrefix(t *testing.T) {
+	// A crash halfway through a REAL placement append must recover exactly
+	// the placements before it — the torn one never happened.
+	recs := testTrace(t, 400)
+	dir := t.TempDir()
+	c, j := journaledCluster(t, dir)
+	placeScript(t, c, recs, 2)
+	if err := j.TearTail([]byte(`{"kind":"place","node":1,"dataset":9,"records":[{}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := journal.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := smallCluster(t)
+	if err := recovered.Rehydrate(st); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := recovered.ReplicaDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range dump.Nodes {
+		for _, ds := range n.Datasets {
+			if ds == 9 {
+				t.Fatalf("torn placement of dataset 9 resurrected on %s", n.Name)
+			}
+		}
+	}
+	reference := smallCluster(t)
+	placeScript(t, reference, recs, 2)
+	want, err := reference.ReplicaDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := invariant.CheckRecovered(dump, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartNodeRehydratesFromJournal(t *testing.T) {
+	recs := testTrace(t, 300)
+	dir := t.TempDir()
+	c, _ := journaledCluster(t, dir)
+	if err := c.Place(2, 5, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Datasets) != 1 || st.Datasets[0] != 5 {
+		t.Fatalf("restarted node holds %v, want [5]", st.Datasets)
+	}
+	if st.RecordsStored != len(recs) {
+		t.Fatalf("restarted node holds %d records, want %d", st.RecordsStored, len(recs))
+	}
+}
+
+func TestRestartNodeStaysEmptyWithoutJournal(t *testing.T) {
+	// The pre-journal contract is unchanged: an unjournaled restart is a
+	// rebooted VM with no replicas.
+	c := smallCluster(t)
+	recs := testTrace(t, 200)
+	if err := c.Place(1, 3, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Datasets) != 0 {
+		t.Fatalf("unjournaled restart resurrected datasets %v", st.Datasets)
+	}
+}
+
+func TestRehydrateRejectsForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte(`{"kind":"offer","at":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := journal.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCluster(t)
+	if err := c.Rehydrate(st); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("foreign record accepted: %v", err)
+	}
+}
