@@ -1,10 +1,11 @@
-// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr5.json,
+// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr6.json,
 // the machine-readable record of how fast the hot paths are at this PR and
-// how they compare to the seed tree (BENCH_pr1.json is the committed PR-1
-// snapshot and stays untouched). The workloads mirror the named benchmarks
-// in bench_test.go; timing runs with instrumentation disabled (its
-// disabled-mode cost is zero-alloc, see internal/instrument), then one
-// instrumented pass captures the counters behind the numbers.
+// how they compare to the seed tree (BENCH_pr1.json and BENCH_pr5.json are
+// the committed earlier snapshots and stay untouched). The workloads mirror
+// the named benchmarks in bench_test.go plus the edgerepd load driver;
+// timing runs with instrumentation disabled (its disabled-mode cost is
+// zero-alloc, see internal/instrument), then one instrumented pass captures
+// the counters behind the numbers.
 //
 // Regenerate with:
 //
@@ -24,9 +25,11 @@ import (
 	"edgerep/internal/experiments"
 	"edgerep/internal/instrument"
 	"edgerep/internal/lint"
+	"edgerep/internal/online"
+	"edgerep/internal/server"
 )
 
-var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr5.json")
+var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr6.json")
 
 // Seed-tree reference numbers for the workloads below, measured with
 // `go test -bench -benchmem` at the growth seed (commit 7f6be61) on the same
@@ -79,11 +82,11 @@ func ratio(a, b float64) float64 {
 
 func TestWriteBenchReport(t *testing.T) {
 	if !*benchReportFlag {
-		t.Skip("pass -benchreport to regenerate BENCH_pr5.json")
+		t.Skip("pass -benchreport to regenerate BENCH_pr6.json")
 	}
 
 	report := &instrument.BenchReport{
-		PR:          "pr5",
+		PR:          "pr6",
 		GoVersion:   runtime.Version(),
 		Host:        fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		GeneratedBy: "go test -run TestWriteBenchReport -benchreport .",
@@ -258,6 +261,58 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
+	// The streaming-admission daemon under its in-repo load driver: 100k
+	// offers of the seeded stream through the full micro-epoch pipeline
+	// (enqueue → epoch collector → incremental dual pricing → response) on
+	// the quick-sweep instance, unjournaled. One op = one whole drive, so
+	// the Derived block — not ns/op — carries the headline numbers:
+	// sustained decisions/s and the enqueue-to-decision percentiles.
+	const driveCount = 100000
+	var lastRep server.DriveReport
+	daemon := func(b *testing.B) {
+		p, err := server.BuildInstance(server.DefaultInstance())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := online.NewEngine(p, driveCount, online.Options{})
+			s := server.New(p, eng, server.Config{Clock: func() float64 { return 0 }})
+			b.StartTimer()
+			rep, err := server.Drive(s, server.DriveConfig{Count: driveCount, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := s.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			lastRep = rep
+			b.StartTimer()
+		}
+	}
+	r, snap = measure(t, daemon)
+	e = instrument.BenchEntry{
+		Name:        "DaemonThroughput",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Counters: counters(snap,
+			"server.offers", "server.admitted", "server.rejected", "server.epochs"),
+		Derived: map[string]float64{
+			"admissions_per_sec": lastRep.DecisionsPerSec,
+			"p50_latency_ns":     float64(lastRep.P50),
+			"p95_latency_ns":     float64(lastRep.P95),
+			"p99_latency_ns":     float64(lastRep.P99),
+			"mean_epoch_queries": lastRep.MeanEpochQueries,
+			"epoch_occupancy":    lastRep.Occupancy,
+		},
+	}
+	report.Entries = append(report.Entries, e)
+
 	// The static-analysis gate: parse the whole tree and run every analyzer.
 	// Besides timing, this records the analyzer/finding counts in the report
 	// and refuses to regenerate it from a tree that fails the gate.
@@ -286,7 +341,7 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
-	if err := report.WriteFile("BENCH_pr5.json"); err != nil {
+	if err := report.WriteFile("BENCH_pr6.json"); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range report.Entries {
@@ -299,9 +354,11 @@ func TestWriteBenchReport(t *testing.T) {
 // TestBenchReportCommitted guards the committed artifacts: each must parse,
 // name its PR, and record the baselined entries at or above seed
 // performance. BENCH_pr5.json must additionally carry the JournalOverhead
-// entry with a sane journaled-vs-unjournaled sweep ratio.
+// entry with a sane journaled-vs-unjournaled sweep ratio, and
+// BENCH_pr6.json the DaemonThroughput entry at the issue's ≥50k
+// admission-decisions/s floor with full latency percentiles.
 func TestBenchReportCommitted(t *testing.T) {
-	for _, pr := range []string{"pr1", "pr5"} {
+	for _, pr := range []string{"pr1", "pr5", "pr6"} {
 		path := "BENCH_" + pr + ".json"
 		r, err := instrument.ReadReport(path)
 		if err != nil {
@@ -321,18 +378,41 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s %s: slower than the seed tree (speedup %.2f)", path, e.Name, e.Speedup)
 			}
 		}
-		if pr == "pr5" {
+		if pr == "pr5" || pr == "pr6" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name == "JournalOverhead" {
 					found = true
 					if ratio := e.Derived["journal_overhead_ratio"]; ratio <= 0 {
-						t.Errorf("JournalOverhead ratio %v, want > 0", ratio)
+						t.Errorf("%s: JournalOverhead ratio %v, want > 0", path, ratio)
 					}
 				}
 			}
 			if !found {
-				t.Error("BENCH_pr5.json lacks the JournalOverhead entry")
+				t.Errorf("%s lacks the JournalOverhead entry", path)
+			}
+		}
+		if pr == "pr6" {
+			found := false
+			for _, e := range r.Entries {
+				if e.Name != "DaemonThroughput" {
+					continue
+				}
+				found = true
+				if dps := e.Derived["admissions_per_sec"]; dps < 50000 {
+					t.Errorf("DaemonThroughput %v decisions/s, want >= 50000", dps)
+				}
+				for _, q := range []string{"p50_latency_ns", "p95_latency_ns", "p99_latency_ns"} {
+					if e.Derived[q] <= 0 {
+						t.Errorf("DaemonThroughput lacks %s", q)
+					}
+				}
+				if occ := e.Derived["epoch_occupancy"]; occ <= 0 || occ > 1 {
+					t.Errorf("DaemonThroughput epoch_occupancy %v out of (0,1]", occ)
+				}
+			}
+			if !found {
+				t.Error("BENCH_pr6.json lacks the DaemonThroughput entry")
 			}
 		}
 	}

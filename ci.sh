@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repository gate: formatting, vet, repo-specific analyzers (edgerepvet),
 # build, race-enabled tests, durability (journal/recovery + kill-and-resume
-# byte-identity), bench smoke.
+# byte-identity), the edgerepd daemon drill (selfdrive byte-identity +
+# HTTP serve/kill -9/resume), docs link check, example smoke, bench smoke.
 # Run before every commit. See ARCHITECTURE.md, "CI".
 set -eu
 
@@ -53,6 +54,71 @@ go build -o "$tmp/edgerepsim" ./cmd/edgerepsim
     -journal "$tmp/wal" -resume > "$tmp/resumed.csv"
 cmp "$tmp/full.csv" "$tmp/resumed.csv"
 cmp "$tmp/full.jsonl" "$tmp/resumed.jsonl"
+
+echo "== daemon gate (edgerepd: selfdrive SIGKILL-and-resume byte-identity; HTTP drive / kill -9 / -resume / drain)"
+go build -o "$tmp/edgerepd" ./cmd/edgerepd
+# Deterministic selfdrive: an uninterrupted run vs one SIGKILLed (torn WAL
+# tail) at decision 6000 and resumed. WAL-only journaling so the resumed
+# trace replays the whole history; journal and trace must match byte for byte.
+"$tmp/edgerepd" -selfdrive -count 10000 -nosync -snapshot-every 0 \
+    -journal "$tmp/dfull-wal" -trace "$tmp/dfull.jsonl" > /dev/null
+"$tmp/edgerepd" -selfdrive -count 10000 -nosync -snapshot-every 0 \
+    -journal "$tmp/dcrash-wal" -trace "$tmp/ddead.jsonl" -proc-crash-after 6000 > /dev/null 2>&1 && {
+    echo "edgerepd proc-crash run was not killed" >&2; exit 1; } || true
+"$tmp/edgerepd" -selfdrive -count 10000 -nosync -snapshot-every 0 \
+    -journal "$tmp/dcrash-wal" -trace "$tmp/dresumed.jsonl" -resume > /dev/null
+cmp "$tmp/dfull.jsonl" "$tmp/dresumed.jsonl"
+for f in "$tmp/dfull-wal"/*; do cmp "$f" "$tmp/dcrash-wal/$(basename "$f")"; done
+# HTTP: bind a random port, drive real traffic, kill -9, restart with
+# -resume (the journal must replay clean), drive again, drain on SIGTERM.
+"$tmp/edgerepd" -http 127.0.0.1:0 -journal "$tmp/dhttp-wal" -nosync \
+    > "$tmp/dserve1.out" 2> "$tmp/dserve1.err" &
+dpid=$!
+i=0
+until grep -q "serving on" "$tmp/dserve1.out" 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "edgerepd did not bind" >&2; cat "$tmp/dserve1.err" >&2; exit 1; fi
+    sleep 0.1
+done
+daddr=$(sed -n 's/^edgerepd: serving on //p' "$tmp/dserve1.out")
+"$tmp/edgerepd" -drive "$daddr" -count 2000 | grep -q "drive ok: /metrics serves"
+kill -9 "$dpid"
+wait "$dpid" 2>/dev/null || true
+"$tmp/edgerepd" -http 127.0.0.1:0 -journal "$tmp/dhttp-wal" -nosync -resume \
+    > "$tmp/dserve2.out" 2> "$tmp/dserve2.err" &
+dpid=$!
+i=0
+until grep -q "serving on" "$tmp/dserve2.out" 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "edgerepd did not resume" >&2; cat "$tmp/dserve2.err" >&2; exit 1; fi
+    sleep 0.1
+done
+grep -q "recovered 2000 decisions" "$tmp/dserve2.err"
+daddr=$(sed -n 's/^edgerepd: serving on //p' "$tmp/dserve2.out")
+"$tmp/edgerepd" -drive "$daddr" -count 500 | grep -q "drive ok: /metrics serves"
+kill -TERM "$dpid"
+wait "$dpid"
+grep -q "drained" "$tmp/dserve2.err"
+
+echo "== docs link check (files referenced from the operator docs exist)"
+for doc in README.md ARCHITECTURE.md OPERATIONS.md EXPERIMENTS.md DESIGN.md \
+           examples/streaming-admission/README.md; do
+    base=$(dirname "$doc")
+    for tgt in $(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//'); do
+        case "$tgt" in
+            http://*|https://*|\#*) continue ;;
+        esac
+        path=${tgt%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$base/$path" ]; then
+            echo "$doc links to missing file: $tgt" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "== example smoke (streaming-admission daemon walkthrough)"
+go run ./examples/streaming-admission > /dev/null
 
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkAlgorithmsHeadToHead' -benchtime 1x .

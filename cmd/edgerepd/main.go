@@ -1,0 +1,361 @@
+// Command edgerepd is the always-on replication-admission daemon: it owns
+// one deterministic cluster instance (topology + workload derived from
+// -seed/-nodes/-datasets/-queries/-f/-k), coalesces queries arriving on
+// POST /admit into micro-epochs, prices them against the online engine's
+// incrementally maintained dual state, and answers admit/reject + placement
+// + typed rejection reason. /metrics, /progress, and /debug/pprof/* share
+// the same port (internal/ops); -journal makes every decision durable and
+// -resume replays the WAL through online.Recover before serving resumes.
+// SIGTERM (or SIGINT) drains gracefully: the in-flight micro-epoch finishes,
+// the engine state is snapshotted, and the process exits 0.
+//
+// Usage:
+//
+//	edgerepd -http localhost:8080                      # serve admission
+//	edgerepd -http localhost:8080 -journal wal/        # ... durably
+//	edgerepd -http localhost:8080 -journal wal/ -resume  # restart without loss
+//	edgerepd -selfdrive -count 200000                  # in-process load driver
+//	edgerepd -selfdrive -count 200000 -journal wal/ -proc-crash-after 120000
+//	edgerepd -drive http://localhost:8080 -count 5000  # HTTP load driver
+//
+// See OPERATIONS.md for the runbook (endpoint map, journal layout, crash
+// drills) and examples/streaming-admission for an end-to-end walkthrough.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/journal"
+	"edgerep/internal/online"
+	"edgerep/internal/ops"
+	"edgerep/internal/server"
+	"edgerep/internal/workload"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "", "serve admission + ops on this address (e.g. localhost:8080; :0 picks a free port)")
+
+		seed     = flag.Int("seed", 1, "instance seed: topology and workload are a pure function of it")
+		nodes    = flag.Int("nodes", 30, "network size |V| of the two-tier topology")
+		datasets = flag.Int("datasets", 12, "number of datasets")
+		queries  = flag.Int("queries", 60, "number of distinct queries in the instance (arrivals re-offer them)")
+		fBound   = flag.Int("f", 5, "max demanded datasets per query")
+		kBound   = flag.Int("k", 3, "replica bound K per dataset")
+		expected = flag.Int("expected", 0, "expected total arrivals for the capacity price base (0: 1e6, or -count in selfdrive)")
+		maxUtil  = flag.Float64("max-util", 0, "reject admissions pushing a node above this utilization (0 = 1.0)")
+
+		epochMax  = flag.Int("epoch-max", 256, "micro-epoch size bound (queries)")
+		epochWait = flag.Duration("epoch-wait", 2*time.Millisecond, "micro-epoch wait bound")
+
+		jdir      = flag.String("journal", "", "journal every admission decision to a WAL in this directory")
+		resume    = flag.Bool("resume", false, "recover state from -journal before serving (online.Recover; refuses divergent journals)")
+		snapEvery = flag.Int("snapshot-every", 20000, "snapshot engine state after every Nth journaled record (0 = WAL-only)")
+		noSync    = flag.Bool("nosync", false, "skip the per-append fsync (load tests; crash durability is reduced to the page cache)")
+
+		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
+		stats    = flag.Bool("stats", false, "print runtime counters to stderr on exit")
+
+		selfdrive = flag.Bool("selfdrive", false, "replay a seeded workload through the in-process admission pipeline and report throughput")
+		count     = flag.Int("count", 200000, "selfdrive/drive: total offers to submit")
+		rate      = flag.Float64("rate", 0, "selfdrive: target offered load in queries/s of wall time (0 = as fast as possible)")
+		pipeline  = flag.Int("pipeline", 512, "selfdrive/drive: max outstanding requests")
+		driveSeed = flag.Int64("drive-seed", 7, "selfdrive: arrival-stream seed (query mix, model inter-arrivals, holds)")
+		modelRate = flag.Float64("model-rate", 1000, "selfdrive: model-time arrival rate encoded in AtSec stamps")
+		meanHold  = flag.Float64("hold", 30, "selfdrive: mean model hold time in seconds")
+		crashN    = flag.Int("proc-crash-after", 0, "selfdrive fault injection: tear the WAL tail and kill -9 this process after the Nth decision (requires -journal)")
+
+		driveURL = flag.String("drive", "", "drive a remote daemon: POST /admit batches against this base URL, then verify /metrics serves")
+		batch    = flag.Int("batch", 64, "drive: queries per HTTP batch")
+	)
+	flag.Parse()
+	if err := run(runConfig{
+		httpAddr: *httpAddr,
+		instance: server.InstanceConfig{Seed: int64(*seed), Nodes: *nodes, Datasets: *datasets, Queries: *queries, F: *fBound, K: *kBound},
+		expected: *expected, maxUtil: *maxUtil,
+		epochMax: *epochMax, epochWait: *epochWait,
+		jdir: *jdir, resume: *resume, snapEvery: *snapEvery, noSync: *noSync,
+		traceOut: *traceOut, stats: *stats,
+		selfdrive: *selfdrive, count: *count, rate: *rate, pipeline: *pipeline,
+		driveSeed: *driveSeed, modelRate: *modelRate, meanHold: *meanHold, crashN: *crashN,
+		driveURL: *driveURL, batch: *batch,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "edgerepd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	httpAddr  string
+	instance  server.InstanceConfig
+	expected  int
+	maxUtil   float64
+	epochMax  int
+	epochWait time.Duration
+	jdir      string
+	resume    bool
+	snapEvery int
+	noSync    bool
+	traceOut  string
+	stats     bool
+	selfdrive bool
+	count     int
+	rate      float64
+	pipeline  int
+	driveSeed int64
+	modelRate float64
+	meanHold  float64
+	crashN    int
+	driveURL  string
+	batch     int
+}
+
+func (c runConfig) expectedArrivals() int {
+	if c.expected > 0 {
+		return c.expected
+	}
+	if c.selfdrive {
+		return c.count
+	}
+	return 1_000_000
+}
+
+func run(cfg runConfig) error {
+	if cfg.driveURL != "" {
+		return driveRemote(cfg)
+	}
+	if !cfg.selfdrive && cfg.httpAddr == "" {
+		return fmt.Errorf("nothing to do: pass -http to serve, -selfdrive to load-test in process, or -drive to load-test a remote daemon")
+	}
+	if (cfg.resume || cfg.crashN > 0) && cfg.jdir == "" {
+		return fmt.Errorf("-resume and -proc-crash-after need -journal")
+	}
+	if cfg.stats {
+		instrument.Enable()
+		defer func() {
+			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
+		}()
+	}
+	if cfg.traceOut != "" {
+		closeTrace, err := instrument.OpenTraceFile(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepd: close trace: %v\n", err)
+			}
+		}()
+	}
+
+	p, err := server.BuildInstance(cfg.instance)
+	if err != nil {
+		return err
+	}
+
+	opt := online.Options{MaxUtilization: cfg.maxUtil, SnapshotEvery: cfg.snapEvery}
+	var jn *journal.Journal
+	var eng *online.Engine
+	if cfg.jdir != "" {
+		// Load first (tolerating a torn tail), then Open (which truncates
+		// it), so the engine recovers exactly the acknowledged prefix and
+		// appends from there.
+		var st *journal.State
+		if cfg.resume {
+			if st, err = journal.Load(cfg.jdir); err != nil {
+				return err
+			}
+			if st.Torn {
+				fmt.Fprintf(os.Stderr, "edgerepd: journal had a torn tail; the unacknowledged record was dropped\n")
+			}
+		}
+		if jn, err = journal.Open(cfg.jdir, journal.Options{NoSync: cfg.noSync}); err != nil {
+			return err
+		}
+		defer func() {
+			if err := jn.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepd: close journal: %v\n", err)
+			}
+		}()
+		opt.Journal = jn
+		if cfg.resume {
+			// The trace sink is already attached, so the replayed offers
+			// re-emit their events: a resumed daemon's trace is byte-
+			// identical to one that never crashed.
+			if eng, err = online.Recover(p, cfg.expectedArrivals(), opt, st); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "edgerepd: recovered %d decisions from %s (LSN %d)\n",
+				len(eng.Result().Decisions), cfg.jdir, jn.LSN())
+		}
+	}
+	if eng == nil {
+		eng = online.NewEngine(p, cfg.expectedArrivals(), opt)
+	}
+
+	scfg := server.Config{EpochMaxQueries: cfg.epochMax, EpochMaxWait: cfg.epochWait}
+	if cfg.selfdrive {
+		// Deterministic mode: model time comes entirely from the arrival
+		// stream's AtSec stamps, never the wall clock.
+		scfg.Clock = func() float64 { return 0 }
+	}
+	s := server.New(p, eng, scfg)
+	if cfg.crashN > 0 {
+		s.CrashAfter(int64(cfg.crashN), func() {
+			// Die "mid-write": tear the WAL tail the way a power cut would,
+			// then kill -9 ourselves — no defers, no flushes.
+			if err := jn.TearTail([]byte("edgerepd-proc-crash")); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepd: tear tail: %v\n", err)
+			}
+			proc, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				if err := proc.Kill(); err != nil {
+					fmt.Fprintf(os.Stderr, "edgerepd: self-kill: %v\n", err)
+				}
+			}
+			select {}
+		})
+	}
+
+	if cfg.httpAddr != "" {
+		addr, shutdown, err := server.Serve(cfg.httpAddr, s.Handler(ops.Handler()))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := shutdown(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgerepd: shutdown listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("edgerepd: serving on http://%s\n", addr)
+	}
+
+	if cfg.selfdrive {
+		start := len(eng.Result().Decisions)
+		if start >= cfg.count {
+			return fmt.Errorf("journal already holds %d decisions, nothing left of -count %d", start, cfg.count)
+		}
+		rep, err := server.Drive(s, server.DriveConfig{
+			Count: cfg.count, Seed: cfg.driveSeed, RatePerSec: cfg.rate,
+			Pipeline: cfg.pipeline, ModelRatePerSec: cfg.modelRate,
+			MeanHoldSec: cfg.meanHold, StartIndex: start,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edgerepd: selfdrive %s\n", rep)
+		if err := s.Drain(); err != nil {
+			return err
+		}
+		res := s.Result()
+		fmt.Printf("edgerepd: final admitted=%d rejected=%d volume=%.1fGB peak-util=%.3f\n",
+			res.Admitted, res.Rejected, res.VolumeAdmitted, res.PeakUtilization)
+		return nil
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: finish the in-flight
+	// micro-epoch, snapshot, exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "edgerepd: %v: draining\n", got)
+	if err := s.Drain(); err != nil {
+		return err
+	}
+	res := s.Result()
+	fmt.Fprintf(os.Stderr, "edgerepd: drained: admitted=%d rejected=%d volume=%.1fGB\n",
+		res.Admitted, res.Rejected, res.VolumeAdmitted)
+	return nil
+}
+
+// driveRemote is the HTTP load driver: it POSTs -count queries in -batch
+// sized /admit batches, reports the decision mix, and then asserts that
+// /metrics serves the daemon's counters — the probe ci.sh's daemon gate
+// relies on.
+func driveRemote(cfg runConfig) error {
+	base := cfg.driveURL
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := cfg.instance.Validate(); err != nil {
+		return err
+	}
+	nq := cfg.instance.Queries
+	admitted, rejected := 0, 0
+	reasons := make(map[string]int)
+	start := time.Now()
+	for sent := 0; sent < cfg.count; {
+		n := cfg.batch
+		if rest := cfg.count - sent; n > rest {
+			n = rest
+		}
+		reqs := make([]server.AdmitRequest, n)
+		for i := range reqs {
+			reqs[i] = server.AdmitRequest{Query: workload.QueryID((sent + i) % nq), HoldSec: 5}
+		}
+		body, err := json.Marshal(reqs)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/admit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("POST /admit: %w", err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); cerr != nil {
+			return cerr
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /admit: %s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+		var decs []server.AdmitResponse
+		if err := json.Unmarshal(data, &decs); err != nil {
+			return fmt.Errorf("decode /admit response: %w", err)
+		}
+		for _, d := range decs {
+			if d.Admitted {
+				admitted++
+			} else {
+				rejected++
+				reasons[string(d.Reason)]++
+			}
+		}
+		sent += n
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("edgerepd: drive %d offers in %s (%.0f decisions/s): admitted=%d rejected=%d",
+		admitted+rejected, elapsed.Round(time.Millisecond),
+		float64(admitted+rejected)/elapsed.Seconds(), admitted, rejected)
+	for r, c := range reasons {
+		fmt.Printf(" %s=%d", r, c)
+	}
+	fmt.Println()
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("edgerep_server_offers")) {
+		return fmt.Errorf("/metrics does not serve the daemon counters (status %s)", resp.Status)
+	}
+	fmt.Println("edgerepd: drive ok: /metrics serves the daemon counters")
+	return nil
+}

@@ -20,11 +20,14 @@
 // internal/reactive, internal/forecast), drivers that regenerate every
 // figure of the paper plus the ablations (internal/experiments), and the
 // runtime instrumentation behind the repository's performance trajectory
-// (internal/instrument; enable with -stats on any cmd/ binary).
+// (internal/instrument; enable with -stats on any cmd/ binary), and the
+// always-on streaming-admission daemon serving all of it over HTTP with
+// journaled exactly-once decisions (internal/server, cmd/edgerepd; see
+// OPERATIONS.md for the runbook).
 //
 // Root-level benchmarks (bench_test.go) regenerate each figure and the
 // ablations; TestWriteBenchReport (benchreport_test.go) regenerates the
-// committed BENCH_pr1.json perf record. See DESIGN.md for the experiment
+// committed BENCH_pr6.json perf record. See DESIGN.md for the experiment
 // index, EXPERIMENTS.md for measured-vs-paper results, and ARCHITECTURE.md
 // for the package-to-paper map and hot-path guide.
 package edgerep

@@ -578,3 +578,64 @@ func exprString(e ast.Expr) string {
 	}
 	return "expression"
 }
+
+// --- pkgdoc -----------------------------------------------------------------
+
+// pkgDoc enforces the documentation floor the operator-facing docs link
+// into: every package carries a package comment. Library packages need the
+// canonical godoc form ("// Package <name> ..."), so `go doc` renders a
+// summary; main packages need a doc comment describing the command (any
+// leading sentence — the repo's convention is "// Command <name> ...").
+// Only one non-test file per package has to carry it.
+var pkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "every package must have a package doc comment (library packages in the canonical 'Package <name> ...' form)",
+	Run: func(r *Repo) []Finding {
+		type pkgFiles struct {
+			name  string // package clause identifier
+			first *File  // lexicographically first non-test file (Repo files are sorted)
+			ok    bool
+		}
+		pkgs := make(map[string]*pkgFiles)
+		var order []string
+		for _, f := range r.Files {
+			if f.IsTest {
+				continue
+			}
+			pf := pkgs[f.Pkg]
+			if pf == nil {
+				pf = &pkgFiles{name: f.AST.Name.Name, first: f}
+				pkgs[f.Pkg] = pf
+				order = append(order, f.Pkg)
+			}
+			if f.AST.Doc == nil {
+				continue
+			}
+			text := f.AST.Doc.Text()
+			if pf.name == "main" {
+				if strings.TrimSpace(text) != "" {
+					pf.ok = true
+				}
+				continue
+			}
+			if strings.HasPrefix(text, "Package "+pf.name+" ") ||
+				strings.HasPrefix(text, "Package "+pf.name+"\n") {
+				pf.ok = true
+			}
+		}
+		var out []Finding
+		for _, dir := range order {
+			pf := pkgs[dir]
+			if pf.ok {
+				continue
+			}
+			msg := fmt.Sprintf("package %s has no canonical package comment; give one file a '// Package %s ...' doc comment",
+				pf.name, pf.name)
+			if pf.name == "main" {
+				msg = "main package has no doc comment; describe the command above the package clause"
+			}
+			out = append(out, Finding{Pos: r.pos(pf.first.AST.Name), Analyzer: "pkgdoc", Message: msg})
+		}
+		return out
+	},
+}

@@ -454,6 +454,65 @@ import "edgerep/internal/instrument"
 func forge() instrument.Reason { return instrument.Reason("forged-for-tampering-test") }
 `,
 	},
+
+	// --- pkgdoc ---
+	{
+		name:     "library package without any doc comment",
+		analyzer: "pkgdoc",
+		src: `package fix
+
+func f() {}
+`,
+		wantSub: "no canonical package comment",
+	},
+	{
+		name:     "library package with a non-canonical doc only",
+		analyzer: "pkgdoc",
+		src: `// Helpers for fixing things.
+package fix
+
+func f() {}
+`,
+		wantSub: "'// Package fix ...'",
+	},
+	{
+		name:     "canonical library package doc ok",
+		analyzer: "pkgdoc",
+		src: `// Package fix fixes things that need fixing.
+package fix
+
+func f() {}
+`,
+	},
+	{
+		name:     "main package without doc comment",
+		analyzer: "pkgdoc",
+		filename: "cmd/fix/main.go",
+		src: `package main
+
+func main() {}
+`,
+		wantSub: "describe the command",
+	},
+	{
+		name:     "main package with a command doc ok",
+		analyzer: "pkgdoc",
+		filename: "cmd/fix/main.go",
+		src: `// Command fix fixes things from the command line.
+package main
+
+func main() {}
+`,
+	},
+	{
+		name:     "test files exempt from pkgdoc",
+		analyzer: "pkgdoc",
+		filename: "internal/fix/fix_test.go",
+		src: `package fix
+
+func helper() {}
+`,
+	},
 }
 
 func TestAnalyzerFixtures(t *testing.T) {

@@ -266,6 +266,7 @@ func Analyzers() []*Analyzer {
 		droppedErr,
 		instrReg,
 		traceReason,
+		pkgDoc,
 	}
 }
 

@@ -204,6 +204,27 @@ func (e *Engine) loadState(st *EngineState) {
 	}
 }
 
+// Now returns the engine's current model time: the AtSec of the latest
+// offered arrival (or of the latest crash). A daemon that recovers an engine
+// uses it as the floor for its serving clock, so post-recovery arrivals never
+// travel back in time relative to the replayed history.
+func (e *Engine) Now() float64 { return e.now }
+
+// SnapshotNow forces a full state snapshot at the journal's current LSN,
+// regardless of the SnapshotEvery cadence. The admission daemon calls it on
+// graceful drain so a later restart replays zero WAL records. No-op without
+// an attached journal.
+func (e *Engine) SnapshotNow() error {
+	if e.jn == nil {
+		return nil
+	}
+	snap, err := json.Marshal(e.StateDump())
+	if err != nil {
+		return fmt.Errorf("online: marshal snapshot: %w", err)
+	}
+	return e.jn.Snapshot(snap)
+}
+
 // appendRecord journals one record and takes a snapshot when the cadence
 // says so. No-op while replaying or without a journal.
 func (e *Engine) appendRecord(rec *JournalRecord) error {

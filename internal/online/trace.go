@@ -61,14 +61,16 @@ func (e *Engine) emitAdmit(a Arrival, as []placement.Assignment) {
 	instrument.EmitTrace(&ev)
 }
 
-// emitReject classifies the rejected arrival against the instantaneous load
-// and records the typed reason.
-func (e *Engine) emitReject(a Arrival) {
-	if !instrument.TraceActive() {
-		return
-	}
+// ClassifyRejection attributes a rejection of q to the paper constraint that
+// kills it at the engine's *current* instantaneous state (capacity net of
+// the configured utilization headroom, the materialized replica layout, and
+// liveness). The admission daemon calls it to put a typed reason on the wire
+// with every rejected response; emitReject uses the same classification for
+// the trace, so the reason an operator sees over HTTP is byte-for-byte the
+// reason invariant.CheckTrace replays.
+func (e *Engine) ClassifyRejection(q workload.QueryID) (instrument.Reason, workload.DatasetID, graph.NodeID) {
 	maxU := e.opt.maxUtil()
-	reason, ds, node := placement.ClassifyRejection(e.p, a.Query, placement.RejectionState{
+	return placement.ClassifyRejection(e.p, q, placement.RejectionState{
 		Avail: func(v graph.NodeID) float64 {
 			return e.p.Cloud.Capacity(v)*maxU - e.used[v]
 		},
@@ -76,6 +78,15 @@ func (e *Engine) emitReject(a Arrival) {
 		ReplicaCount: e.sol.ReplicaCount,
 		Down:         e.downPredicate(),
 	})
+}
+
+// emitReject classifies the rejected arrival against the instantaneous load
+// and records the typed reason.
+func (e *Engine) emitReject(a Arrival) {
+	if !instrument.TraceActive() {
+		return
+	}
+	reason, ds, node := e.ClassifyRejection(a.Query)
 	ev := instrument.NewTraceEvent(instrument.EventReject, traceAlgo)
 	ev.Run = e.traceRun
 	ev.Query = int64(a.Query)

@@ -1,0 +1,223 @@
+// In-repo load driver: replays a seeded arrival stream through the server's
+// admission pipeline and reports sustained decision throughput, latency
+// percentiles, and micro-epoch occupancy. The stream is submitted by ONE
+// goroutine in arrival order (responses are collected concurrently under a
+// bounded pipeline), so with a constant-zero server clock and the explicit
+// AtSec values generated here, the run is deterministic end to end: same
+// seed, same journal bytes, same trace bytes — the property the SIGKILL-and-
+// resume gate in ci.sh compares byte for byte.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"edgerep/internal/workload"
+)
+
+// DriveConfig parameterizes a load run.
+type DriveConfig struct {
+	// Count is the total number of offers to submit.
+	Count int
+	// Seed drives the query permutation, model inter-arrivals, and holds.
+	Seed int64
+	// RatePerSec, when positive, paces wall-clock submission to this target
+	// offered load; 0 submits as fast as the pipeline allows.
+	RatePerSec float64
+	// Pipeline bounds outstanding requests; 0 means 512.
+	Pipeline int
+	// ModelRatePerSec is the model-time arrival rate the AtSec stamps encode;
+	// 0 means 1000 (so holds turn over and capacity is continually re-priced).
+	ModelRatePerSec float64
+	// MeanHoldSec is the mean exponential model hold time; 0 means 30.
+	MeanHoldSec float64
+	// StartIndex skips the first arrivals of the stream (a resumed daemon
+	// continues at the offer count its journal recovered to).
+	StartIndex int
+}
+
+func (c DriveConfig) pipeline() int {
+	if c.Pipeline > 0 {
+		return c.Pipeline
+	}
+	return 512
+}
+
+func (c DriveConfig) modelRate() float64 {
+	if c.ModelRatePerSec > 0 {
+		return c.ModelRatePerSec
+	}
+	return 1000
+}
+
+func (c DriveConfig) meanHold() float64 {
+	if c.MeanHoldSec > 0 {
+		return c.MeanHoldSec
+	}
+	return 30
+}
+
+// DriveReport summarizes a load run.
+type DriveReport struct {
+	Offers   int           `json:"offers"`
+	Admitted int           `json:"admitted"`
+	Rejected int           `json:"rejected"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// DecisionsPerSec is the sustained admission-decision throughput
+	// (admits + rejects) over the run's wall clock.
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// P50, P95, P99 are enqueue-to-decision wall latencies.
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// Epochs and MeanEpochQueries describe the micro-epoch shape; Occupancy
+	// is MeanEpochQueries over the configured epoch size bound.
+	Epochs           int64   `json:"epochs"`
+	MeanEpochQueries float64 `json:"mean_epoch_queries"`
+	Occupancy        float64 `json:"occupancy"`
+}
+
+// String renders the report the way cmd/edgerepd prints it.
+func (r DriveReport) String() string {
+	return fmt.Sprintf(
+		"offers=%d admitted=%d rejected=%d elapsed=%s decisions/s=%.0f p50=%s p95=%s p99=%s epochs=%d mean-epoch=%.1f occupancy=%.3f",
+		r.Offers, r.Admitted, r.Rejected, r.Elapsed.Round(time.Millisecond),
+		r.DecisionsPerSec, r.P50, r.P95, r.P99, r.Epochs, r.MeanEpochQueries, r.Occupancy)
+}
+
+// arrivalStream deterministically generates the i-th..count-th offers of a
+// seeded workload replay: queries drawn uniformly from the instance, Poisson
+// model inter-arrivals, exponential holds. The whole prefix is always drawn
+// so StartIndex resumes mid-stream bit-exactly.
+func arrivalStream(s *Server, cfg DriveConfig) []AdmitRequest {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nq := len(s.p.Queries)
+	at := 0.0
+	out := make([]AdmitRequest, 0, cfg.Count-cfg.StartIndex)
+	for i := 0; i < cfg.Count; i++ {
+		q := rng.Intn(nq)
+		at += rng.ExpFloat64() / cfg.modelRate()
+		hold := rng.ExpFloat64() * cfg.meanHold()
+		if i < cfg.StartIndex {
+			continue
+		}
+		out = append(out, AdmitRequest{Query: workload.QueryID(q), AtSec: at, HoldSec: hold})
+	}
+	return out
+}
+
+// Drive replays cfg's arrival stream through s and reports throughput and
+// latency. The epoch counters are read before and after, so concurrent
+// drivers on one server should not share a report.
+func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
+	if cfg.Count <= 0 {
+		return DriveReport{}, fmt.Errorf("server: drive count %d", cfg.Count)
+	}
+	if cfg.StartIndex < 0 || cfg.StartIndex >= cfg.Count {
+		return DriveReport{}, fmt.Errorf("server: drive start index %d of %d", cfg.StartIndex, cfg.Count)
+	}
+	arrivals := arrivalStream(s, cfg)
+	epochs0 := s.Epochs()
+
+	type inflight struct {
+		ch  <-chan result
+		enq time.Time
+	}
+	pipe := make(chan inflight, cfg.pipeline())
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		defer close(pipe)
+		var tick *time.Ticker
+		if cfg.RatePerSec > 0 {
+			// Pace in bursts of up to 64 offers so high target rates are not
+			// limited by timer resolution.
+			burst := 64
+			interval := time.Duration(float64(burst) / cfg.RatePerSec * float64(time.Second))
+			if interval < time.Millisecond {
+				interval = time.Millisecond
+				burst = int(cfg.RatePerSec * interval.Seconds())
+				if burst < 1 {
+					burst = 1
+				}
+			}
+			tick = time.NewTicker(interval)
+			defer tick.Stop()
+			sent := 0
+			for _, req := range arrivals {
+				if sent >= burst {
+					<-tick.C
+					sent = 0
+				}
+				ch, err := s.enqueue(req)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				pipe <- inflight{ch: ch, enq: time.Now()}
+				sent++
+			}
+			return
+		}
+		for _, req := range arrivals {
+			ch, err := s.enqueue(req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			pipe <- inflight{ch: ch, enq: time.Now()}
+		}
+	}()
+
+	rep := DriveReport{}
+	lat := make([]time.Duration, 0, len(arrivals))
+	for fl := range pipe {
+		r := <-fl.ch
+		if r.err != nil {
+			return rep, r.err
+		}
+		lat = append(lat, time.Since(fl.enq))
+		rep.Offers++
+		if r.resp.Admitted {
+			rep.Admitted++
+		} else {
+			rep.Rejected++
+		}
+	}
+	select {
+	case err := <-errCh:
+		return rep, err
+	default:
+	}
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.DecisionsPerSec = float64(rep.Offers) / rep.Elapsed.Seconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.P50 = percentile(lat, 0.50)
+	rep.P95 = percentile(lat, 0.95)
+	rep.P99 = percentile(lat, 0.99)
+	rep.Epochs = s.Epochs() - epochs0
+	if rep.Epochs > 0 {
+		rep.MeanEpochQueries = float64(rep.Offers) / float64(rep.Epochs)
+		rep.Occupancy = rep.MeanEpochQueries / float64(s.cfg.epochMax())
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

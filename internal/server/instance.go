@@ -1,0 +1,75 @@
+// Deterministic instance construction for the daemon: the cluster state a
+// serving process owns is fully determined by (seed, scale) flags, the same
+// way every experiment driver builds its instances — so a restarted daemon
+// can rebuild the identical problem and replay its journal against it
+// (online.Recover refuses with ErrDivergent if the instance differs).
+package server
+
+import (
+	"fmt"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// InstanceConfig pins the problem a daemon serves. The zero value is
+// invalid; start from DefaultInstance.
+type InstanceConfig struct {
+	// Seed determines the topology, the workload, and nothing else.
+	Seed int64
+	// Nodes is the two-tier network size |V|.
+	Nodes int
+	// Datasets and Queries fix the workload size.
+	Datasets int
+	Queries  int
+	// F bounds the demanded-set size per query; K bounds replicas per
+	// dataset.
+	F int
+	K int
+}
+
+// DefaultInstance returns the quick-sweep scale (the same instance class the
+// experiment drivers and benches use): 30 nodes, 12 datasets, 60 queries,
+// F=5, K=3, seed 1.
+func DefaultInstance() InstanceConfig {
+	return InstanceConfig{Seed: 1, Nodes: 30, Datasets: 12, Queries: 60, F: 5, K: 3}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c InstanceConfig) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("server: instance needs at least 2 nodes, got %d", c.Nodes)
+	case c.Datasets < 1 || c.Queries < 1:
+		return fmt.Errorf("server: empty workload (%d datasets, %d queries)", c.Datasets, c.Queries)
+	case c.F < 1:
+		return fmt.Errorf("server: F = %d", c.F)
+	case c.K < 1:
+		return fmt.Errorf("server: K = %d", c.K)
+	}
+	return nil
+}
+
+// BuildInstance generates the daemon's problem: a scaled two-tier topology,
+// a seeded workload over it, and the placement problem wrapping both.
+func BuildInstance(c InstanceConfig) (*placement.Problem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	top, err := topology.Generate(topology.ScaledConfig(c.Nodes, c.Seed))
+	if err != nil {
+		return nil, err
+	}
+	wc := workload.DefaultConfig()
+	wc.Seed = c.Seed
+	wc.NumDatasets = c.Datasets
+	wc.NumQueries = c.Queries
+	wc.MaxDatasetsPerQuery = c.F
+	w, err := workload.Generate(wc, top)
+	if err != nil {
+		return nil, err
+	}
+	return placement.NewProblem(cluster.New(top), w, c.K)
+}

@@ -1,0 +1,378 @@
+// Package server is the streaming-admission core of the always-on daemon
+// (cmd/edgerepd). Queries arrive continuously through Admit (or its HTTP
+// binding, see http.go), are coalesced into micro-epochs — batches bounded
+// by size (EpochMaxQueries) and by the wait the first query of an epoch is
+// willing to tolerate (EpochMaxWait) — and are priced one at a time against
+// the online engine's incrementally maintained dual state (internal/online:
+// the exponential capacity price θ(u) over instantaneous load); no ascent is
+// ever re-run per batch. Every decision is answered with admit/reject, the
+// placement on admit, and a typed rejection reason (instrument.Reason) on
+// reject.
+//
+// Durability and observability are inherited rather than reinvented: the
+// engine journals every offer with its committed outcome before the response
+// leaves the server (internal/journal; restart with online.Recover is
+// byte-identical), every decision is a typed trace event replayable by
+// invariant.CheckTrace, and the per-epoch/per-decision metrics registered
+// below surface on /metrics next to internal/ops' pprof handlers.
+//
+// Ordering contract: requests are processed in enqueue order (one FIFO
+// channel, one epoch loop), so a single-submitter stream with deterministic
+// arrival times produces a byte-identical journal and trace no matter how
+// the micro-epochs happen to cut — batching is a latency/throughput knob,
+// never a semantic one. See OPERATIONS.md for the operator's view.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
+	"edgerep/internal/online"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+// Serving metrics (see ARCHITECTURE.md, "Serving"): decision counters, the
+// wall-clock admission latency distribution, and micro-epoch shape.
+var (
+	statAdmitted = instrument.NewCounter("server.admitted")
+	statRejected = instrument.NewCounter("server.rejected")
+	statEpochs   = instrument.NewCounter("server.epochs")
+	statOffers   = instrument.NewCounter("server.offers")
+
+	histAdmitLatency = instrument.NewHistogram("server.admit_latency_seconds",
+		0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1)
+	histEpochQueries = instrument.NewHistogram("server.epoch_queries",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+	gaugeEpochOccupancy = instrument.NewGauge("server.epoch_occupancy")
+)
+
+// ErrDraining is returned to admissions that arrive after graceful shutdown
+// began: the daemon finishes the queries already enqueued (the in-flight
+// micro-epoch) but accepts no new ones.
+var ErrDraining = errors.New("server: draining, admission closed")
+
+// Config tunes the micro-epoch collector.
+type Config struct {
+	// EpochMaxQueries bounds a micro-epoch's size; 0 means 256.
+	EpochMaxQueries int
+	// EpochMaxWait bounds how long the first query of an epoch waits for
+	// company before the batch is priced; 0 means 2ms.
+	EpochMaxWait time.Duration
+	// QueueDepth bounds the admission queue (enqueue blocks when full,
+	// giving natural backpressure); 0 means 4096.
+	QueueDepth int
+	// Clock supplies the model time stamped on arrivals that do not carry
+	// their own AtSec. Nil means a monotonic wall clock anchored at the
+	// engine's recovered model time, so holds expire in real time. A
+	// deterministic driver (selfdrive, tests) passes a constant-zero clock
+	// and explicit AtSec values instead.
+	Clock func() float64
+}
+
+func (c Config) epochMax() int {
+	if c.EpochMaxQueries > 0 {
+		return c.EpochMaxQueries
+	}
+	return 256
+}
+
+func (c Config) epochWait() time.Duration {
+	if c.EpochMaxWait > 0 {
+		return c.EpochMaxWait
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4096
+}
+
+// AdmitRequest is one query offered to the daemon.
+type AdmitRequest struct {
+	// Query indexes the instance's query list (the universe the daemon was
+	// started with).
+	Query workload.QueryID `json:"query"`
+	// AtSec is the optional model arrival time; it is clamped up to the
+	// server clock and the engine's current time, so a stale or zero AtSec
+	// simply means "now".
+	AtSec float64 `json:"at_sec,omitempty"`
+	// HoldSec is how long the admitted allocation is held; 0 means forever.
+	HoldSec float64 `json:"hold_sec,omitempty"`
+}
+
+// Assignment is one demand of an admitted query served from a node.
+type Assignment struct {
+	Dataset workload.DatasetID `json:"dataset"`
+	Node    graph.NodeID       `json:"node"`
+}
+
+// AdmitResponse is the daemon's decision for one request. Reason, Dataset,
+// and Node carry the typed rejection attribution on reject (-1 where not
+// applicable), exactly the classification invariant.CheckTrace replays.
+type AdmitResponse struct {
+	Query    workload.QueryID `json:"query"`
+	Admitted bool             `json:"admitted"`
+	// AtSec is the effective model arrival time the decision was priced at.
+	AtSec float64 `json:"at_sec"`
+	// Epoch numbers the micro-epoch that carried the decision.
+	Epoch       int64             `json:"epoch"`
+	Assignments []Assignment      `json:"assignments,omitempty"`
+	Reason      instrument.Reason `json:"reason,omitempty"`
+	Dataset     int64             `json:"dataset"`
+	Node        int64             `json:"node"`
+}
+
+type result struct {
+	resp AdmitResponse
+	err  error
+}
+
+type pending struct {
+	req  AdmitRequest
+	enq  time.Time
+	resp chan result
+}
+
+// Server owns the cluster state (one online engine) and serves admission.
+type Server struct {
+	cfg Config
+	p   *placement.Problem
+
+	// mu guards the engine and epoch bookkeeping; the epoch loop holds it
+	// while pricing a batch, read-only endpoints (StateDump, Result) take it
+	// between batches.
+	mu  sync.Mutex
+	eng *online.Engine
+
+	// sendMu fences enqueue against Drain: senders hold it shared while
+	// pushing onto reqs, Drain takes it exclusively to flip draining and
+	// close the channel with no send in flight.
+	sendMu   sync.RWMutex
+	draining bool
+
+	reqs chan *pending
+	done chan struct{}
+
+	epochs int64
+	offers int64
+
+	// crashAfter/crashFn inject a deterministic mid-serving fault: after the
+	// Nth offer is journaled, fn runs with the epoch lock held (it tears the
+	// WAL tail and kills the process in the chaos drill).
+	crashAfter int64
+	crashFn    func()
+
+	start time.Time
+	base  float64
+}
+
+// New starts a server over a problem and a ready engine (fresh from
+// online.NewEngine or recovered via online.Recover — the caller owns journal
+// and trace wiring). The epoch loop starts immediately.
+func New(p *placement.Problem, eng *online.Engine, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		p:     p,
+		eng:   eng,
+		reqs:  make(chan *pending, cfg.queueDepth()),
+		done:  make(chan struct{}),
+		start: time.Now(),
+		base:  eng.Now(),
+	}
+	go s.run()
+	return s
+}
+
+// CrashAfter arms the deterministic fault: after n offers have been decided
+// (and journaled), fn is invoked from the epoch loop. Call before traffic.
+func (s *Server) CrashAfter(n int64, fn func()) {
+	s.crashAfter = n
+	s.crashFn = fn
+}
+
+// clock returns the current model time.
+func (s *Server) clock() float64 {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return s.base + time.Since(s.start).Seconds()
+}
+
+// enqueue pushes one request onto the admission queue and returns the
+// channel its decision will arrive on. It blocks when the queue is full.
+func (s *Server) enqueue(req AdmitRequest) (<-chan result, error) {
+	if int(req.Query) < 0 || int(req.Query) >= len(s.p.Queries) {
+		return nil, fmt.Errorf("server: unknown query %d", req.Query)
+	}
+	pd := &pending{req: req, enq: time.Now(), resp: make(chan result, 1)}
+	s.sendMu.RLock()
+	if s.draining {
+		s.sendMu.RUnlock()
+		return nil, ErrDraining
+	}
+	s.reqs <- pd
+	s.sendMu.RUnlock()
+	return pd.resp, nil
+}
+
+// Admit offers one query and blocks until its micro-epoch is priced.
+func (s *Server) Admit(req AdmitRequest) (AdmitResponse, error) {
+	ch, err := s.enqueue(req)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	r := <-ch
+	return r.resp, r.err
+}
+
+// run is the epoch loop: collect a micro-epoch, price it, answer it.
+func (s *Server) run() {
+	defer close(s.done)
+	max := s.cfg.epochMax()
+	wait := s.cfg.epochWait()
+	batch := make([]*pending, 0, max)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		pd, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], pd)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+	collect:
+		for len(batch) < max {
+			select {
+			case more, open := <-s.reqs:
+				if !open {
+					s.processEpoch(batch)
+					return
+				}
+				batch = append(batch, more)
+			case <-timer.C:
+				break collect
+			}
+		}
+		s.processEpoch(batch)
+	}
+}
+
+// processEpoch prices one micro-epoch against the engine's dual state and
+// answers every waiter.
+func (s *Server) processEpoch(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochs++
+	epoch := s.epochs
+	statEpochs.Inc()
+	histEpochQueries.Observe(float64(len(batch)))
+	gaugeEpochOccupancy.Set(float64(len(batch)) / float64(s.cfg.epochMax()))
+	for _, pd := range batch {
+		at := pd.req.AtSec
+		if now := s.clock(); at < now {
+			at = now
+		}
+		if floor := s.eng.Now(); at < floor {
+			at = floor
+		}
+		dec, err := s.eng.Offer(online.Arrival{Query: pd.req.Query, AtSec: at, HoldSec: pd.req.HoldSec})
+		if err != nil {
+			pd.resp <- result{err: err}
+			continue
+		}
+		resp := AdmitResponse{
+			Query:    pd.req.Query,
+			Admitted: dec.Admitted,
+			AtSec:    at,
+			Epoch:    epoch,
+			Dataset:  -1,
+			Node:     -1,
+		}
+		if dec.Admitted {
+			statAdmitted.Inc()
+			for _, asg := range dec.Assignments {
+				resp.Assignments = append(resp.Assignments, Assignment{Dataset: asg.Dataset, Node: asg.Node})
+			}
+		} else {
+			statRejected.Inc()
+			reason, ds, node := s.eng.ClassifyRejection(pd.req.Query)
+			resp.Reason = reason
+			resp.Dataset = int64(ds)
+			resp.Node = int64(node)
+		}
+		statOffers.Inc()
+		histAdmitLatency.Observe(time.Since(pd.enq).Seconds())
+		pd.resp <- result{resp: resp}
+		s.offers++
+		if s.crashAfter > 0 && s.offers == s.crashAfter && s.crashFn != nil {
+			s.crashFn()
+		}
+	}
+}
+
+// Drain begins graceful shutdown: new admissions fail with ErrDraining, the
+// queries already enqueued are priced (the in-flight micro-epoch finishes),
+// the trace span is closed, and the engine state is snapshotted to the
+// journal (when one is attached) so a restart replays zero WAL records.
+func (s *Server) Drain() error {
+	s.sendMu.Lock()
+	if s.draining {
+		s.sendMu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.draining = true
+	close(s.reqs)
+	s.sendMu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.EmitEnd()
+	return s.eng.SnapshotNow()
+}
+
+// StateDump returns the engine's canonical state (see online.EngineState),
+// consistent with respect to epoch boundaries.
+func (s *Server) StateDump() *online.EngineState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.StateDump()
+}
+
+// Result returns the engine's accumulated run summary.
+func (s *Server) Result() online.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Result()
+}
+
+// Epochs returns how many micro-epochs have been priced.
+func (s *Server) Epochs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs
+}
+
+// Offers returns how many admission decisions have been made.
+func (s *Server) Offers() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offers
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/invariant"
+	"edgerep/internal/journal"
+	"edgerep/internal/online"
+)
+
+// driveTraced runs count offers of the seeded stream through a fresh
+// journaled server under a JSONL trace sink and returns the trace bytes. A
+// crashAt > 0 stops after that many offers, tears the journal tail, and
+// skips the drain — the in-process equivalent of edgerepd's
+// -proc-crash-after SIGKILL. A resume run recovers from dir first.
+func driveTraced(t *testing.T, dir string, count, crashAt int, resume bool) []byte {
+	t.Helper()
+	p := testInstance(t)
+	instrument.ResetTrace()
+	var buf bytes.Buffer
+	sink := instrument.NewJSONLSink(&buf)
+	instrument.SetTraceSink(sink)
+	defer instrument.ResetTrace()
+
+	// Load before Open: Load tolerates the torn tail and reports it, Open
+	// truncates it — the same order cmd/edgerepd recovers in.
+	var st *journal.State
+	if resume {
+		var err error
+		if st, err = journal.Load(dir); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Torn {
+			t.Fatal("resume run expected a torn tail")
+		}
+	}
+	jn, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := online.Options{Journal: jn}
+	var eng *online.Engine
+	start := 0
+	if resume {
+		// The sink is already attached, so replay re-emits the crashed
+		// prefix's events with the same run and sequence numbers.
+		if eng, err = online.Recover(p, count, opt, st); err != nil {
+			t.Fatal(err)
+		}
+		start = len(eng.Result().Decisions)
+	} else {
+		eng = online.NewEngine(p, count, opt)
+	}
+
+	s := New(p, eng, Config{Clock: zeroClock})
+	submit := count
+	if crashAt > 0 {
+		submit = crashAt
+	}
+	if _, err := Drive(s, DriveConfig{Count: submit, Seed: 21, StartIndex: start}); err != nil {
+		t.Fatal(err)
+	}
+	if crashAt > 0 {
+		if err := jn.TearTail([]byte("trace-test-crash")); err != nil {
+			t.Fatal(err)
+		}
+		if err := jn.Close(); err != nil {
+			t.Fatal(err)
+		}
+		instrument.ResetTrace()
+		return nil
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	instrument.ResetTrace()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeByteIdenticalTraceAndJournal is the SIGKILL-and-resume contract
+// in process: a daemon crashed mid-stream and resumed produces the same
+// journal bytes and the same trace bytes as one that never crashed.
+// (WAL-only journaling — a snapshot would legitimately cut the replayed
+// prefix out of the resumed trace; see OPERATIONS.md.)
+func TestResumeByteIdenticalTraceAndJournal(t *testing.T) {
+	const total, crashAt = 2500, 1500
+	fullDir, crashDir := t.TempDir(), t.TempDir()
+
+	full := driveTraced(t, fullDir, total, 0, false)
+	if len(full) == 0 {
+		t.Fatal("uninterrupted run produced no trace")
+	}
+	driveTraced(t, crashDir, total, crashAt, false)
+	resumed := driveTraced(t, crashDir, total, 0, true)
+
+	if !bytes.Equal(resumed, full) {
+		t.Fatalf("resumed trace differs from uninterrupted trace (%d vs %d bytes)",
+			len(resumed), len(full))
+	}
+
+	fullFiles, err := filepath.Glob(filepath.Join(fullDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullFiles) == 0 {
+		t.Fatal("uninterrupted run journaled nothing")
+	}
+	for _, f := range fullFiles {
+		want, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(crashDir, filepath.Base(f)))
+		if err != nil {
+			t.Fatalf("resumed journal misses %s: %v", filepath.Base(f), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("journal file %s differs between runs", filepath.Base(f))
+		}
+	}
+}
+
+// TestDaemonTraceValidatesClean replays a daemon trace through the
+// first-principles checker: every admit fits the ledger, every typed
+// rejection reason survives recomputation (online mode — capacity is
+// temporal and cannot be reconstructed from the trace alone).
+func TestDaemonTraceValidatesClean(t *testing.T) {
+	p := testInstance(t)
+	instrument.ResetTrace()
+	var buf bytes.Buffer
+	sink := instrument.NewJSONLSink(&buf)
+	instrument.SetTraceSink(sink)
+	defer instrument.ResetTrace()
+
+	s := New(p, online.NewEngine(p, 3000, online.Options{}), Config{Clock: zeroClock})
+	if _, err := Drive(s, DriveConfig{Count: 3000, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	instrument.ResetTrace()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := instrument.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := instrument.SplitTraceRuns(events)
+	if len(runs) != 1 {
+		t.Fatalf("daemon trace has %d runs, want 1", len(runs))
+	}
+	if vs := invariant.CheckTrace(p, runs[0], invariant.TraceOptions{Online: true}); len(vs) != 0 {
+		t.Fatalf("daemon trace has violations: %v", vs)
+	}
+	admits, rejects := 0, 0
+	for _, ev := range runs[0] {
+		switch ev.Event {
+		case instrument.EventAdmit:
+			admits++
+		case instrument.EventReject:
+			rejects++
+		}
+	}
+	if admits == 0 || rejects == 0 {
+		t.Fatalf("trace mix admits=%d rejects=%d wants both > 0", admits, rejects)
+	}
+}
