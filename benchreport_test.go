@@ -1,8 +1,9 @@
-// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr6.json,
+// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr7.json,
 // the machine-readable record of how fast the hot paths are at this PR and
-// how they compare to the seed tree (BENCH_pr1.json and BENCH_pr5.json are
-// the committed earlier snapshots and stay untouched). The workloads mirror
-// the named benchmarks in bench_test.go plus the edgerepd load driver;
+// how they compare to the seed tree (BENCH_pr1.json, BENCH_pr5.json, and
+// BENCH_pr6.json are the committed earlier snapshots and stay untouched).
+// The workloads mirror the named benchmarks in bench_test.go plus the
+// edgerepd load driver;
 // timing runs with instrumentation disabled (its disabled-mode cost is
 // zero-alloc, see internal/instrument), then one instrumented pass captures
 // the counters behind the numbers.
@@ -29,7 +30,7 @@ import (
 	"edgerep/internal/server"
 )
 
-var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr6.json")
+var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr7.json")
 
 // Seed-tree reference numbers for the workloads below, measured with
 // `go test -bench -benchmem` at the growth seed (commit 7f6be61) on the same
@@ -82,11 +83,11 @@ func ratio(a, b float64) float64 {
 
 func TestWriteBenchReport(t *testing.T) {
 	if !*benchReportFlag {
-		t.Skip("pass -benchreport to regenerate BENCH_pr6.json")
+		t.Skip("pass -benchreport to regenerate BENCH_pr7.json")
 	}
 
 	report := &instrument.BenchReport{
-		PR:          "pr6",
+		PR:          "pr7",
 		GoVersion:   runtime.Version(),
 		Host:        fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		GeneratedBy: "go test -run TestWriteBenchReport -benchreport .",
@@ -313,9 +314,13 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
-	// The static-analysis gate: parse the whole tree and run every analyzer.
-	// Besides timing, this records the analyzer/finding counts in the report
-	// and refuses to regenerate it from a tree that fails the gate.
+	// The static-analysis gate: parse the whole tree, resolve it with
+	// go/types (one op = parse + full type-check + all twelve analyzers — the
+	// type-aware pass this PR introduced), and run every analyzer. Besides
+	// timing, this records the analyzer/finding/type-error counts in the
+	// report and refuses to regenerate it from a tree that fails the gate or
+	// blows the <30s ci.sh scan budget.
+	var lastTyped int
 	vet := func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -327,9 +332,16 @@ func TestWriteBenchReport(t *testing.T) {
 			if findings := repo.Run(lint.Analyzers()); len(findings) > 0 {
 				b.Fatalf("repo fails its own lint gate: %v", findings[0])
 			}
+			if len(repo.TypeErrors) > 0 {
+				b.Fatalf("repo does not type-check: %s", repo.TypeErrors[0])
+			}
+			lastTyped = len(repo.Info.Uses)
 		}
 	}
 	r, snap = measure(t, vet)
+	if float64(r.NsPerOp()) >= 30e9 {
+		t.Fatalf("EdgerepvetRepoScan %.1fs/op; the ci.sh budget is <30s", float64(r.NsPerOp())/1e9)
+	}
 	e = instrument.BenchEntry{
 		Name:        "EdgerepvetRepoScan",
 		Iterations:  r.N,
@@ -337,11 +349,15 @@ func TestWriteBenchReport(t *testing.T) {
 		AllocsPerOp: float64(r.AllocsPerOp()),
 		BytesPerOp:  float64(r.AllocedBytesPerOp()),
 		Counters: counters(snap,
-			"lint.analyzers_run", "lint.files_scanned", "lint.findings"),
+			"lint.analyzers_run", "lint.files_scanned", "lint.findings",
+			"lint.type_errors"),
+		Derived: map[string]float64{
+			"resolved_uses": float64(lastTyped),
+		},
 	}
 	report.Entries = append(report.Entries, e)
 
-	if err := report.WriteFile("BENCH_pr6.json"); err != nil {
+	if err := report.WriteFile("BENCH_pr7.json"); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range report.Entries {
@@ -353,12 +369,14 @@ func TestWriteBenchReport(t *testing.T) {
 
 // TestBenchReportCommitted guards the committed artifacts: each must parse,
 // name its PR, and record the baselined entries at or above seed
-// performance. BENCH_pr5.json must additionally carry the JournalOverhead
-// entry with a sane journaled-vs-unjournaled sweep ratio, and
-// BENCH_pr6.json the DaemonThroughput entry at the issue's ≥50k
-// admission-decisions/s floor with full latency percentiles.
+// performance. BENCH_pr5.json onward must additionally carry the
+// JournalOverhead entry with a sane journaled-vs-unjournaled sweep ratio,
+// BENCH_pr6.json onward the DaemonThroughput entry at the issue's ≥50k
+// admission-decisions/s floor with full latency percentiles, and
+// BENCH_pr7.json the type-checked EdgerepvetRepoScan inside the <30s ci.sh
+// budget.
 func TestBenchReportCommitted(t *testing.T) {
-	for _, pr := range []string{"pr1", "pr5", "pr6"} {
+	for _, pr := range []string{"pr1", "pr5", "pr6", "pr7"} {
 		path := "BENCH_" + pr + ".json"
 		r, err := instrument.ReadReport(path)
 		if err != nil {
@@ -378,7 +396,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s %s: slower than the seed tree (speedup %.2f)", path, e.Name, e.Speedup)
 			}
 		}
-		if pr == "pr5" || pr == "pr6" {
+		if pr == "pr5" || pr == "pr6" || pr == "pr7" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name == "JournalOverhead" {
@@ -392,7 +410,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the JournalOverhead entry", path)
 			}
 		}
-		if pr == "pr6" {
+		if pr == "pr6" || pr == "pr7" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "DaemonThroughput" {
@@ -412,7 +430,31 @@ func TestBenchReportCommitted(t *testing.T) {
 				}
 			}
 			if !found {
-				t.Error("BENCH_pr6.json lacks the DaemonThroughput entry")
+				t.Errorf("%s lacks the DaemonThroughput entry", path)
+			}
+		}
+		if pr == "pr7" {
+			found := false
+			for _, e := range r.Entries {
+				if e.Name != "EdgerepvetRepoScan" {
+					continue
+				}
+				found = true
+				if e.NsPerOp >= 30e9 {
+					t.Errorf("EdgerepvetRepoScan %v ns/op; the ci.sh budget is <30s", e.NsPerOp)
+				}
+				if e.Counters["lint.findings"] != 0 {
+					t.Errorf("EdgerepvetRepoScan recorded %v findings; the repo gate must be clean", e.Counters["lint.findings"])
+				}
+				if e.Counters["lint.type_errors"] != 0 {
+					t.Errorf("EdgerepvetRepoScan recorded %v type errors; analyzers fell back to name heuristics", e.Counters["lint.type_errors"])
+				}
+				if e.Derived["resolved_uses"] < 10000 {
+					t.Errorf("EdgerepvetRepoScan resolved only %v uses; go/types resolution looks broken", e.Derived["resolved_uses"])
+				}
+			}
+			if !found {
+				t.Errorf("%s lacks the EdgerepvetRepoScan entry", path)
 			}
 		}
 	}

@@ -19,8 +19,22 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== edgerepvet ./... (repo-specific analyzers; -stats records analyzer/finding counts)"
-go run ./cmd/edgerepvet -stats ./...
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== edgerepvet ./... (type-aware repo analyzers; gate + JSON artifact, <30s budget)"
+go build -o "$tmp/edgerepvet" ./cmd/edgerepvet
+vet_start=$(date +%s)
+"$tmp/edgerepvet" -stats ./...
+"$tmp/edgerepvet" -json ./... > "$tmp/edgerepvet.json"
+vet_elapsed=$(( $(date +%s) - vet_start ))
+grep -q '"findings": \[\]' "$tmp/edgerepvet.json" || {
+    echo "edgerepvet -json reports findings the exit-code gate missed" >&2; exit 1; }
+echo "edgerepvet artifact: $tmp/edgerepvet.json (2 repo scans in ${vet_elapsed}s)"
+if [ "$vet_elapsed" -ge 30 ]; then
+    echo "edgerepvet repo scans took ${vet_elapsed}s; budget is <30s" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -43,8 +57,6 @@ go test -race -run 'Journal|Recover|Resume|Torn|Snapshot|Rehydrate|ProcCrash|Sta
 go test -run '^$' -fuzz '^FuzzJournalDecode$' -fuzztime 5s ./internal/journal
 
 echo "== kill-and-resume gate (traced sweep killed mid-write resumes byte-identical)"
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/edgerepsim" ./cmd/edgerepsim
 "$tmp/edgerepsim" -fig 2 -quick -csv -trace "$tmp/full.jsonl" > "$tmp/full.csv"
 "$tmp/edgerepsim" -fig 2 -quick -csv -trace "$tmp/crashed.jsonl" \

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -337,8 +338,13 @@ func driveRemote(cfg runConfig) error {
 	fmt.Printf("edgerepd: drive %d offers in %s (%.0f decisions/s): admitted=%d rejected=%d",
 		admitted+rejected, elapsed.Round(time.Millisecond),
 		float64(admitted+rejected)/elapsed.Seconds(), admitted, rejected)
-	for r, c := range reasons {
-		fmt.Printf(" %s=%d", r, c)
+	names := make([]string, 0, len(reasons))
+	for r := range reasons {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		fmt.Printf(" %s=%d", r, reasons[r])
 	}
 	fmt.Println()
 

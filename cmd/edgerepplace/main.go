@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"edgerep/internal/baselines"
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
+	"edgerep/internal/graph"
 	"edgerep/internal/instrument"
 	"edgerep/internal/journal"
 	"edgerep/internal/placement"
@@ -176,11 +178,11 @@ func main() {
 		}
 		d := placement.DiffReplicas(old, sol)
 		fmt.Printf("replica moves vs %s: %d (add/remove per dataset below)\n", *diffPath, d.Moves())
-		for n, vs := range d.Add {
-			fmt.Printf("  dataset %d: add %v\n", n, vs)
+		for _, n := range sortedDatasets(d.Add) {
+			fmt.Printf("  dataset %d: add %v\n", n, d.Add[n])
 		}
-		for n, vs := range d.Remove {
-			fmt.Printf("  dataset %d: remove %v\n", n, vs)
+		for _, n := range sortedDatasets(d.Remove) {
+			fmt.Printf("  dataset %d: remove %v\n", n, d.Remove[n])
 		}
 		return
 	}
@@ -198,4 +200,15 @@ func main() {
 	if err := sol.Save(os.Stdout); err != nil {
 		fail(err)
 	}
+}
+
+// sortedDatasets returns a diff map's dataset keys in ascending order, so
+// the printed move list is stable run to run.
+func sortedDatasets(m map[workload.DatasetID][]graph.NodeID) []workload.DatasetID {
+	ds := make([]workload.DatasetID, 0, len(m))
+	for n := range m {
+		ds = append(ds, n)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
 }

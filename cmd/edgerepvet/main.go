@@ -1,21 +1,30 @@
 // Command edgerepvet runs the repository's static-analysis pass
-// (internal/lint): repo-specific analyzers that enforce the paper's
-// feasibility hot-path conventions and the determinism contract — seeded
-// randomness, distances via graph.DistanceCache, the graph.Infinity
-// sentinel, no dropped errors, package-level instrument metrics.
+// (internal/lint): a type-aware suite of repo-specific analyzers that
+// enforce the paper's feasibility hot-path conventions and the
+// determinism/concurrency contracts — seeded randomness, distances via
+// graph.DistanceCache, the graph.Infinity sentinel, no dropped errors,
+// package-level instrument metrics, sorted map iteration before
+// deterministic output, no wall-clock reads in model-time packages,
+// journal-before-ack in internal/server, joined goroutines, and lock
+// discipline. See `edgerepvet -list` for the inventory.
 //
 // Usage:
 //
 //	edgerepvet ./...          # analyze the tree rooted at the current dir
 //	edgerepvet -list          # print the analyzers and what they enforce
-//	edgerepvet -stats ./...   # also print the gate counters to stderr
+//	edgerepvet -stats ./...   # also print per-analyzer timing and counters
+//	edgerepvet -json ./...    # machine-readable report (findings, timings,
+//	                          # type errors) on stdout; CI archives this
 //
 // Findings print as file:line:col: analyzer: message; the exit status is 1
 // when any finding is reported, so the command slots into ci.sh between
 // `go vet` and `go build`. The same pass runs in-tree as TestLintRepo.
+// Individual findings are waived with `//lint:ignore <analyzer> <reason>`
+// on the offending line or the line above; unused waivers are findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,22 +36,43 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		stats = flag.Bool("stats", false, "print gate counters (analyzers run, files scanned, findings) to stderr on exit")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		stats    = flag.Bool("stats", false, "print per-analyzer timing and gate counters to stderr on exit")
+		jsonMode = flag.Bool("json", false, "emit the report as JSON on stdout (findings, per-analyzer timings, type errors)")
 	)
 	flag.Parse()
 	if *stats {
 		instrument.Enable()
 	}
-	code := run(*list, *only, flag.Args())
+	code := run(*list, *only, *jsonMode, *stats, flag.Args())
 	if *stats {
 		fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
 	}
 	os.Exit(code)
 }
 
-func run(list bool, only string, roots []string) int {
+// jsonFinding is one finding in -json output, with the position split into
+// fields so consumers need no string parsing.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: one object per invocation covering all
+// roots.
+type jsonReport struct {
+	Roots      []string      `json:"roots"`
+	Files      int           `json:"files"`
+	Findings   []jsonFinding `json:"findings"`
+	Timings    []lint.Timing `json:"timings"`
+	TypeErrors []string      `json:"type_errors,omitempty"`
+}
+
+func run(list bool, only string, jsonMode, stats bool, roots []string) int {
 	if list {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
@@ -68,6 +98,7 @@ func run(list bool, only string, roots []string) int {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
+	report := jsonReport{Findings: []jsonFinding{}}
 	failed := false
 	for _, root := range roots {
 		root = strings.TrimSuffix(root, "...")
@@ -75,14 +106,38 @@ func run(list bool, only string, roots []string) int {
 		if root == "" {
 			root = "."
 		}
+		report.Roots = append(report.Roots, root)
 		repo, err := lint.Load(root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgerepvet: %v\n", err)
 			return 2
 		}
-		for _, f := range repo.Run(analyzers) {
-			fmt.Println(f)
+		findings := repo.Run(analyzers)
+		report.Files += len(repo.Files)
+		report.Timings = append(report.Timings, repo.Timings...)
+		report.TypeErrors = append(report.TypeErrors, repo.TypeErrors...)
+		for _, f := range findings {
 			failed = true
+			report.Findings = append(report.Findings, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+			if !jsonMode {
+				fmt.Println(f)
+			}
+		}
+		if stats && !jsonMode {
+			for _, t := range repo.Timings {
+				fmt.Fprintf(os.Stderr, "%-14s %6d raised  %12s\n", t.Name, t.Findings, t.Elapsed)
+			}
+		}
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "edgerepvet: encode report: %v\n", err)
+			return 2
 		}
 	}
 	if failed {

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAckOrderCatchesReorderedAck is the acceptance check for the
+// exactly-once static rule: take the real internal/server/server.go, move
+// the ack send ahead of the engine Offer call inside processEpoch — the
+// exact bug the rule exists to catch (client told "admitted" before the
+// decision is journaled; a crash in between double-admits on replay) — and
+// require ackorder to flag the scratch copy while passing the pristine one.
+func TestAckOrderCatchesReorderedAck(t *testing.T) {
+	const path = "../../internal/server/server.go"
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading server source: %v", err)
+	}
+
+	pristine, err := NewRepoFromSource("internal/server/server.go", string(src))
+	if err != nil {
+		t.Fatalf("server.go does not parse: %v", err)
+	}
+	if findings := pristine.Run([]*Analyzer{ByName("ackorder")}); len(findings) != 0 {
+		t.Fatalf("pristine server.go already flagged: %v", findings)
+	}
+
+	// Reorder: in the first statement list holding both an Offer assignment
+	// and a later direct ack send, move the send in front of the Offer.
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "server.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if moved {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		offerIdx, sendIdx := -1, -1
+		for i, st := range block.List {
+			switch v := st.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range v.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "Offer" && offerIdx < 0 {
+						offerIdx = i
+					}
+				}
+			case *ast.SendStmt:
+				if offerIdx >= 0 && sendIdx < 0 {
+					sendIdx = i
+				}
+			}
+		}
+		if offerIdx < 0 || sendIdx < 0 {
+			return true
+		}
+		send := block.List[sendIdx]
+		without := append(append([]ast.Stmt{}, block.List[:sendIdx]...), block.List[sendIdx+1:]...)
+		reordered := make([]ast.Stmt, 0, len(block.List))
+		reordered = append(reordered, without[:offerIdx]...)
+		reordered = append(reordered, send)
+		reordered = append(reordered, without[offerIdx:]...)
+		block.List = reordered
+		moved = true
+		return false
+	})
+	if !moved {
+		t.Fatal("no Offer-then-send statement list found in server.go; the acceptance reorder needs updating")
+	}
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, file); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch, err := NewRepoFromSource("internal/server/server.go", buf.String())
+	if err != nil {
+		t.Fatalf("reordered server.go does not parse: %v", err)
+	}
+	findings := scratch.Run([]*Analyzer{ByName("ackorder")})
+	if len(findings) == 0 {
+		t.Fatal("ack send reordered before the journal-bearing Offer, but ackorder stayed silent")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "ackorder" && strings.Contains(f.Message, "result send is not preceded") {
+			return
+		}
+	}
+	t.Fatalf("no ackorder finding names the reordered result send; got: %v", findings)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
 )
@@ -14,12 +15,22 @@ import (
 // coherence against fresh runs.
 const graphPkg = "internal/graph"
 
+// graphImportPath is the same package as an import path, the identity the
+// typed analyzers match against.
+const graphImportPath = modulePath + "/" + graphPkg
+
+// instrumentImportPath declares the metric constructors and the trace
+// vocabulary.
+const instrumentImportPath = modulePath + "/internal/instrument"
+
 // --- seededrand -------------------------------------------------------------
 
 // seededRand enforces the determinism contract (CHANGES.md PR 1: every RNG
 // seeded from config, goldens bit-identical): every rand.New / rand.NewSource
 // argument must trace to a config Seed field, a seed-named variable, or an
-// integer literal — never time.Now() or another opaque call.
+// integer literal — never time.Now() or another opaque call. Constructor
+// calls resolve to the actual math/rand (or math/rand/v2) package where type
+// info exists; otherwise the import spelling decides.
 var seededRand = &Analyzer{
 	Name: "seededrand",
 	Doc:  "rand.New/rand.NewSource must be seeded from a config Seed field or literal, never wall-clock time",
@@ -39,18 +50,14 @@ var seededRand = &Analyzer{
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
+				name, ok := randCtorName(r, call, randName)
 				if !ok {
 					return true
 				}
-				x, ok := sel.X.(*ast.Ident)
-				if !ok || x.Name != randName {
-					return true
-				}
-				switch sel.Sel.Name {
+				switch name {
 				case "NewSource", "NewPCG", "NewChaCha8":
 					for _, arg := range call.Args {
-						if usesWallClock(arg, timeName) {
+						if usesWallClock(r, arg, timeName) {
 							out = append(out, Finding{Pos: r.pos(arg), Analyzer: "seededrand",
 								Message: "RNG seeded from time.Now(); seed from a config Seed field so runs stay bit-identical"})
 						} else if !isSeedExpr(arg) {
@@ -68,10 +75,8 @@ var seededRand = &Analyzer{
 						if !isCall {
 							continue
 						}
-						if s, ok := inner.Fun.(*ast.SelectorExpr); ok {
-							if ix, ok := s.X.(*ast.Ident); ok && ix.Name == randName {
-								continue // rand.New(rand.NewSource(...)): inner call checked above
-							}
+						if _, isCtor := randCtorName(r, inner, randName); isCtor {
+							continue // rand.New(rand.NewSource(...)): inner call checked above
 						}
 						out = append(out, Finding{Pos: r.pos(arg), Analyzer: "seededrand",
 							Message: fmt.Sprintf("rand.New source %q hides its seed; construct the source from a config Seed field", exprString(arg))})
@@ -82,6 +87,35 @@ var seededRand = &Analyzer{
 		}
 		return out
 	},
+}
+
+// randCtorName reports whether call invokes a math/rand constructor and with
+// which name, preferring resolved package identity over import spelling.
+func randCtorName(r *Repo, call *ast.CallExpr, randName string) (string, bool) {
+	if o := r.callee(call); o != nil {
+		p := objPkgPath(o)
+		if p != "math/rand" && p != "math/rand/v2" {
+			return "", false
+		}
+		switch o.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			return o.Name(), true
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != randName {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "New", "NewSource", "NewPCG", "NewChaCha8":
+		return sel.Sel.Name, true
+	}
+	return "", false
 }
 
 // isSeedExpr reports whether e visibly traces to a seed: an integer literal,
@@ -127,16 +161,26 @@ func isIntegerConversion(name string) bool {
 	return false
 }
 
-// usesWallClock reports whether e contains a call to time.Now.
-func usesWallClock(e ast.Expr, timeName string) bool {
-	if timeName == "" {
-		return false
-	}
+// usesWallClock reports whether e contains a call to time.Now, by resolved
+// identity where available, by import spelling otherwise.
+func usesWallClock(r *Repo, e ast.Expr, timeName string) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
-			if x, ok := sel.X.(*ast.Ident); ok && x.Name == timeName {
-				found = true
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch r.calleeIn(call, "time", "Now") {
+		case match:
+			found = true
+		case unresolved:
+			if timeName == "" {
+				return !found
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == timeName {
+					found = true
+				}
 			}
 		}
 		return !found
@@ -149,7 +193,10 @@ func usesWallClock(e ast.Expr, timeName string) bool {
 // distViaCache keeps every consumer of network distances on the PR-1 hot
 // path: per-source Dijkstra trees and the all-pairs matrix are memoized in
 // graph.DistanceCache, so calling the raw entry points elsewhere re-runs
-// shortest paths the cache already holds.
+// shortest paths the cache already holds. With type info the rule matches
+// the actual edgerep/internal/graph methods — a same-named method on an
+// unrelated type no longer trips it; unresolved calls keep the conservative
+// name match.
 var distViaCache = &Analyzer{
 	Name: "distviacache",
 	Doc:  "outside internal/graph, shortest paths must come from graph.DistanceCache, not raw Dijkstra/AllPairsShortestPaths",
@@ -170,6 +217,9 @@ var distViaCache = &Analyzer{
 				}
 				switch sel.Sel.Name {
 				case "Dijkstra", "AllPairsShortestPaths":
+					if r.calleeIn(call, graphImportPath, "Dijkstra", "AllPairsShortestPaths") == miss {
+						return true // resolved to a non-graph declaration
+					}
 					out = append(out, Finding{Pos: r.pos(call), Analyzer: "distviacache",
 						Message: fmt.Sprintf("direct %s call bypasses the shared graph.DistanceCache; use Shortest/Between/Matrix instead", sel.Sel.Name)})
 				}
@@ -208,7 +258,7 @@ var infSentinel = &Analyzer{
 					return true
 				}
 				if (be.Op == token.EQL || be.Op == token.NEQ) &&
-					(isDistanceExpr(be.X) || isDistanceExpr(be.Y)) &&
+					(isDistanceExpr(r, be.X) || isDistanceExpr(r, be.Y)) &&
 					!isInfinityRef(be.X) && !isInfinityRef(be.Y) {
 					out = append(out, Finding{Pos: r.pos(be), Analyzer: "infsentinel",
 						Message: "exact ==/!= on a float64 distance; compare against graph.Infinity, use math.IsInf, or an epsilon"})
@@ -251,18 +301,29 @@ func isHugeLiteral(e ast.Expr) bool {
 	}
 }
 
+// distanceMethodNames are the repo's distance-producing call names; typed
+// resolution additionally requires the method to be declared in this repo
+// (graph, topology, or cluster own them all).
+var distanceMethodNames = map[string]bool{
+	"Between":            true,
+	"TransferDelayPerGB": true,
+	"Eccentricity":       true,
+}
+
 // isDistanceExpr recognizes the repo's distance-producing expressions: the
-// DistanceCache/DistanceMatrix lookups and ShortestPaths.Dist indexing.
-func isDistanceExpr(e ast.Expr) bool {
+// DistanceCache/DistanceMatrix lookups and ShortestPaths.Dist indexing. A
+// resolved call with a matching name counts only when it is declared in
+// this repository; unresolved calls fall back to the name alone.
+func isDistanceExpr(r *Repo, e ast.Expr) bool {
 	switch v := e.(type) {
 	case *ast.ParenExpr:
-		return isDistanceExpr(v.X)
+		return isDistanceExpr(r, v.X)
 	case *ast.CallExpr:
-		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
-			switch sel.Sel.Name {
-			case "Between", "TransferDelayPerGB", "Eccentricity":
-				return true
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && distanceMethodNames[sel.Sel.Name] {
+			if o := r.callee(v); o != nil {
+				return repoOwned(o)
 			}
+			return true
 		}
 	case *ast.IndexExpr:
 		if sel, ok := v.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Dist" {
@@ -286,7 +347,7 @@ func isInfinityRef(e ast.Expr) bool {
 
 // stdlibErrNames are stdlib encoder/writer methods whose error return the
 // repo must never drop on the floor; repo-declared functions are covered by
-// Repo.ErrorReturning.
+// resolved signatures (or Repo.ErrorReturning in syntactic fallback).
 var stdlibErrNames = map[string]bool{
 	"Encode": true,
 	"Decode": true,
@@ -296,19 +357,23 @@ var stdlibErrNames = map[string]bool{
 // fileSyncCloseNames are file-handle methods ((*os.File).Sync/Close and the
 // repo's journal types) whose dropped error silently breaks crash
 // consistency: an unchecked Sync means the WAL record may not be on disk
-// when the caller reports it durable. Because the linter is AST-only (no
-// type info), these names are flagged only when no repo declaration of the
-// name is error-free (Repo.DeclaredWithoutError) — otherwise the bare call
-// might target that error-less method.
+// when the caller reports it durable. With type info the callee's real
+// signature decides; in syntactic fallback these names are flagged only
+// when no repo declaration of the name is error-free
+// (Repo.DeclaredWithoutError) — otherwise the bare call might target that
+// error-less method.
 var fileSyncCloseNames = map[string]bool{
 	"Sync":  true,
 	"Close": true,
 }
 
-// droppedErr flags bare call statements that provably discard an error: the
-// callee name is declared in this repo with error as its last result in
-// every declaration, or is a known stdlib encoder/writer method. Deferred
-// calls and explicit `_ =` discards are intentional and exempt.
+// droppedErr flags bare call statements that provably discard an error.
+// With type info: any repo-declared function or method whose last result is
+// error, plus the stdlib encoder/file-handle names above when their resolved
+// signature carries an error. Without: the callee name must be declared in
+// this repo with error as its last result in every declaration, or be a
+// known stdlib name. Deferred calls and explicit `_ =` discards are
+// intentional and exempt.
 var droppedErr = &Analyzer{
 	Name: "droppederr",
 	Doc:  "bare call statements must not discard error returns from repo or encoding/io functions",
@@ -331,6 +396,25 @@ var droppedErr = &Analyzer{
 				case *ast.SelectorExpr:
 					name = fun.Sel.Name
 				default:
+					return true
+				}
+				if o := r.callee(call); o != nil {
+					fn, ok := o.(*types.Func)
+					if !ok {
+						return true // conversion or builtin, never an error source
+					}
+					sig, ok := fn.Type().(*types.Signature)
+					if !ok {
+						return true
+					}
+					res := sig.Results()
+					if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+						return true // provably error-free
+					}
+					if repoOwned(fn) || stdlibErrNames[name] || fileSyncCloseNames[name] {
+						out = append(out, Finding{Pos: r.pos(stmt), Analyzer: "droppederr",
+							Message: fmt.Sprintf("result of %s is discarded but carries an error; handle it (or assign to _ to discard explicitly)", name)})
+					}
 					return true
 				}
 				if r.ErrorReturning(name) || stdlibErrNames[name] ||
@@ -363,13 +447,19 @@ var instrReg = &Analyzer{
 			if f.IsTest || f.Pkg == "internal/instrument" {
 				continue
 			}
-			instrName := importName(f.AST, "edgerep/internal/instrument")
+			instrName := importName(f.AST, instrumentImportPath)
 			if instrName == "" {
 				continue
 			}
 			isMetricCall := func(n ast.Node) (*ast.CallExpr, bool) {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
+					return nil, false
+				}
+				switch r.calleeIn(call, instrumentImportPath, "NewCounter", "NewTimer", "NewHistogram", "NewGauge") {
+				case match:
+					return call, true
+				case miss:
 					return nil, false
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -468,6 +558,24 @@ func reasonHint(e ast.Expr) string {
 	return "; this string is not in the trace vocabulary at all"
 }
 
+// isReasonTyped reports whether e resolved to the instrument.Reason named
+// type. ok is false when no type info is available for e.
+func isReasonTyped(r *Repo, e ast.Expr) (isReason, ok bool) {
+	t := r.typeOf(e)
+	if t == nil {
+		return false, false
+	}
+	pkg, name, named := namedPathName(t)
+	return named && pkg == instrumentImportPath && name == "Reason", true
+}
+
+// reasonContext reports whether a name-matched "Reason" site is really the
+// trace vocabulary: true unless type info positively says otherwise.
+func reasonContext(r *Repo, e ast.Expr) bool {
+	isReason, ok := isReasonTyped(r, e)
+	return !ok || isReason
+}
+
 // traceReason protects the trace vocabulary: rejection reasons are the typed
 // instrument.Reason* constants (internal/instrument trace doc), so traces
 // from different algorithms and PRs stay machine-comparable and
@@ -475,8 +583,10 @@ func reasonHint(e ast.Expr) string {
 // A free string — a Reason field set to a literal, a Reason("...")
 // conversion, an assignment of a literal to a .Reason field, or a ==/!=
 // comparison of a .Reason field against a literal — forks the vocabulary
-// silently. internal/instrument (which declares the constants) and test
-// files (which forge reasons on purpose) are exempt.
+// silently. Where type info exists, the flagged expression must really be
+// instrument.Reason-typed, so an unrelated string field that happens to be
+// called Reason is left alone. internal/instrument (which declares the
+// constants) and test files (which forge reasons on purpose) are exempt.
 var traceReason = &Analyzer{
 	Name: "tracereason",
 	Doc:  "trace rejection reasons must be instrument.Reason* constants, never free string literals",
@@ -486,12 +596,13 @@ var traceReason = &Analyzer{
 			if f.IsTest || f.Pkg == "internal/instrument" {
 				continue
 			}
-			instrName := importName(f.AST, "edgerep/internal/instrument")
+			instrName := importName(f.AST, instrumentImportPath)
 			ast.Inspect(f.AST, func(n ast.Node) bool {
 				switch v := n.(type) {
 				case *ast.KeyValueExpr:
 					// TraceEvent{Reason: "..."} (or any Reason field literal).
-					if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Reason" && isStringLit(v.Value) {
+					if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Reason" && isStringLit(v.Value) &&
+						reasonContext(r, v.Value) {
 						out = append(out, Finding{Pos: r.pos(v.Value), Analyzer: "tracereason",
 							Message: "rejection Reason set from a free string literal; use the instrument.Reason* constants" + reasonHint(v.Value)})
 					}
@@ -502,7 +613,7 @@ var traceReason = &Analyzer{
 						if !ok || sel.Sel.Name != "Reason" || i >= len(v.Rhs) {
 							continue
 						}
-						if isStringLit(v.Rhs[i]) {
+						if isStringLit(v.Rhs[i]) && reasonContext(r, lhs) {
 							out = append(out, Finding{Pos: r.pos(v.Rhs[i]), Analyzer: "tracereason",
 								Message: "rejection Reason assigned a free string literal; use the instrument.Reason* constants" + reasonHint(v.Rhs[i])})
 						}
@@ -519,19 +630,23 @@ var traceReason = &Analyzer{
 						if !ok || sel.Sel.Name != "Reason" || !isStringLit(pair[1]) || isEmptyStringLit(pair[1]) {
 							continue
 						}
+						if !reasonContext(r, pair[0]) {
+							continue
+						}
 						out = append(out, Finding{Pos: r.pos(pair[1]), Analyzer: "tracereason",
 							Message: "rejection Reason compared against a free string literal; use the instrument.Reason* constants" + reasonHint(pair[1])})
 					}
 				case *ast.CallExpr:
 					// instrument.Reason("...") conversion.
-					if instrName == "" {
-						return true
-					}
 					sel, ok := v.Fun.(*ast.SelectorExpr)
 					if !ok || sel.Sel.Name != "Reason" {
 						return true
 					}
-					if x, ok := sel.X.(*ast.Ident); !ok || x.Name != instrName {
+					if o := r.obj(sel.Sel); o != nil {
+						if _, isType := o.(*types.TypeName); !isType || objPkgPath(o) != instrumentImportPath {
+							return true
+						}
+					} else if x, ok := sel.X.(*ast.Ident); !ok || instrName == "" || x.Name != instrName {
 						return true
 					}
 					if len(v.Args) == 1 && isStringLit(v.Args[0]) {

@@ -76,20 +76,39 @@ var permSeed int64
 
 	// --- distviacache ---
 	{
-		name:     "raw Dijkstra outside internal/graph flagged",
+		name:     "typed call of the real graph Dijkstra flagged",
 		analyzer: "distviacache",
 		src: `package fix
-func f(g interface{ Dijkstra(int) int }) { _ = g.Dijkstra(0) }
+import "edgerep/internal/graph"
+func f(g *graph.Graph) { _ = g.Dijkstra(0) }
 `,
 		wantSub: "Dijkstra",
 	},
 	{
-		name:     "raw AllPairsShortestPaths flagged",
+		name:     "typed call of the real AllPairsShortestPaths flagged",
 		analyzer: "distviacache",
 		src: `package fix
-func f(g interface{ AllPairsShortestPaths() int }) { _ = g.AllPairsShortestPaths() }
+import "edgerep/internal/graph"
+func f(g *graph.Graph) { _ = g.AllPairsShortestPaths() }
 `,
 		wantSub: "AllPairsShortestPaths",
+	},
+	{
+		name:     "unresolved Dijkstra call falls back to the name match",
+		analyzer: "distviacache",
+		src: `package fix
+func f() { g.Dijkstra(0) }
+`,
+		wantSub: "Dijkstra",
+	},
+	{
+		name:     "same-named method on an unrelated type not flagged",
+		analyzer: "distviacache",
+		src: `package fix
+type router struct{}
+func (router) Dijkstra(int) int { return 0 }
+func f(r router) { _ = r.Dijkstra(0) }
+`,
 	},
 	{
 		name:     "internal/graph itself exempt",
@@ -511,6 +530,304 @@ func main() {}
 		src: `package fix
 
 func helper() {}
+`,
+	},
+
+	// --- maporder ---
+	{
+		name:     "fmt output inside map range flagged",
+		analyzer: "maporder",
+		src: `package fix
+import "fmt"
+func f(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+		wantSub: "range over a map",
+	},
+	{
+		name:     "json encode inside map range flagged",
+		analyzer: "maporder",
+		src: `package fix
+import ("encoding/json"; "os")
+func f(m map[string]float64) {
+	enc := json.NewEncoder(os.Stdout)
+	for k, v := range m {
+		_ = enc.Encode(struct {
+			K string
+			V float64
+		}{k, v})
+	}
+}
+`,
+		wantSub: "json Encode emits inside a range over a map",
+	},
+	{
+		name:     "collect-sort-emit pattern ok",
+		analyzer: "maporder",
+		src: `package fix
+import ("fmt"; "sort")
+func f(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+`,
+	},
+	{
+		name:     "map range that only accumulates ok",
+		analyzer: "maporder",
+		src: `package fix
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`,
+	},
+
+	// --- wallclock ---
+	{
+		name:     "time.Now in a deterministic package flagged",
+		analyzer: "wallclock",
+		filename: "internal/core/fix.go",
+		src: `package fix
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+`,
+		wantSub: "time.Now in deterministic package internal/core",
+	},
+	{
+		name:     "argless timer in a deterministic package flagged",
+		analyzer: "wallclock",
+		filename: "internal/sim/fix.go",
+		src: `package fix
+import "time"
+func f() *time.Timer { return time.NewTimer(time.Second) }
+`,
+		wantSub: "time.NewTimer in deterministic package internal/sim",
+	},
+	{
+		name:     "wall clock outside deterministic packages ok",
+		analyzer: "wallclock",
+		filename: "internal/ops/fix.go",
+		src: `package fix
+import "time"
+func f() time.Duration { return time.Since(time.Now()) }
+`,
+	},
+	{
+		name:     "duration constants in deterministic package ok",
+		analyzer: "wallclock",
+		filename: "internal/journal/fix.go",
+		src: `package fix
+import "time"
+const flushEvery = 5 * time.Second
+func f(d time.Duration) bool { return d > flushEvery }
+`,
+	},
+
+	// --- ackorder ---
+	{
+		name:     "result send with no journal step flagged",
+		analyzer: "ackorder",
+		filename: "internal/server/fix.go",
+		src: `package fix
+type result struct{ ok bool }
+func f(ch chan result) { ch <- result{ok: true} }
+`,
+		wantSub: "result send is not preceded",
+	},
+	{
+		name:     "AdmitResponse encode with no journal step flagged",
+		analyzer: "ackorder",
+		filename: "internal/server/fix.go",
+		src: `package fix
+import ("encoding/json"; "io")
+type AdmitResponse struct{ Admitted bool }
+func h(w io.Writer) { _ = json.NewEncoder(w).Encode(AdmitResponse{Admitted: true}) }
+`,
+		wantSub: "AdmitResponse encode is not preceded",
+	},
+	{
+		name:     "append-then-ack ok",
+		analyzer: "ackorder",
+		filename: "internal/server/fix.go",
+		src: `package fix
+type result struct{ ok bool }
+type wal struct{}
+func (wal) Append(b []byte) (int64, error) { return 0, nil }
+func f(j wal, ch chan result) {
+	if _, err := j.Append(nil); err != nil {
+		return
+	}
+	ch <- result{ok: true}
+}
+`,
+	},
+	{
+		name:     "receive-then-encode handler shape ok",
+		analyzer: "ackorder",
+		filename: "internal/server/fix.go",
+		src: `package fix
+import ("encoding/json"; "io")
+type AdmitResponse struct{ Admitted bool }
+type result struct{ resp AdmitResponse }
+func h(w io.Writer, ch chan result) {
+	res := <-ch
+	_ = json.NewEncoder(w).Encode(res.resp)
+}
+`,
+	},
+	{
+		name:     "result sends outside internal/server not in scope",
+		analyzer: "ackorder",
+		src: `package fix
+type result struct{ ok bool }
+func f(ch chan result) { ch <- result{ok: true} }
+`,
+	},
+
+	// --- goroexit ---
+	{
+		name:     "unbounded goroutine flagged",
+		analyzer: "goroexit",
+		filename: "internal/ops/fix.go",
+		src: `package fix
+func f(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+`,
+		wantSub: "no join or bound",
+	},
+	{
+		name:     "waitgroup-joined goroutine ok",
+		analyzer: "goroexit",
+		filename: "internal/testbed/fix.go",
+		src: `package fix
+import "sync"
+func f(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+`,
+	},
+	{
+		name:     "named method goroutine with close evidence ok",
+		analyzer: "goroexit",
+		filename: "internal/server/fix.go",
+		src: `package fix
+type loop struct{ done chan struct{} }
+func (l *loop) run() { defer close(l.done) }
+func f(l *loop) { go l.run() }
+`,
+	},
+	{
+		name:     "goroutines outside the serving packages not in scope",
+		analyzer: "goroexit",
+		src: `package fix
+func f(work func()) { go work() }
+`,
+	},
+
+	// --- lockdiscipline ---
+	{
+		name:     "mutex passed by value flagged",
+		analyzer: "lockdiscipline",
+		src: `package fix
+import "sync"
+func f(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+`,
+		wantSub: "passed by value",
+	},
+	{
+		name:     "early return without unlock flagged",
+		analyzer: "lockdiscipline",
+		src: `package fix
+import "sync"
+type s struct {
+	mu sync.Mutex
+	n  int
+}
+func (x *s) f(b bool) int {
+	x.mu.Lock()
+	if b {
+		return 0
+	}
+	x.mu.Unlock()
+	return x.n
+}
+`,
+		wantSub: "returns without releasing",
+	},
+	{
+		name:     "lock never released flagged",
+		analyzer: "lockdiscipline",
+		src: `package fix
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock()
+}
+`,
+		wantSub: "has no defer Unlock",
+	},
+	{
+		name:     "defer unlock and per-path unlock ok",
+		analyzer: "lockdiscipline",
+		src: `package fix
+import "sync"
+type s struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	draining bool
+	n        int
+}
+func (x *s) f() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.n
+}
+func (x *s) g() bool {
+	x.rw.RLock()
+	if x.draining {
+		x.rw.RUnlock()
+		return true
+	}
+	x.rw.RUnlock()
+	return false
+}
+`,
+	},
+	{
+		name:     "domain type with a Lock method not in scope",
+		analyzer: "lockdiscipline",
+		src: `package fix
+type pidfile struct{}
+func (pidfile) Lock()   {}
+func (pidfile) Unlock() {}
+func f(p pidfile) { p.Lock() }
 `,
 	},
 }

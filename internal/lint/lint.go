@@ -1,17 +1,35 @@
 // Package lint is the repository's static-analysis pass: a stdlib-only
-// analyzer framework (go/parser + go/ast, no external modules) with
-// repo-specific analyzers that machine-check the conventions the paper
+// analyzer framework (go/parser + go/ast + go/types, no external modules)
+// with repo-specific analyzers that machine-check the conventions the paper
 // reproduction depends on — seeded randomness (determinism contract),
 // distance lookups through the shared graph.DistanceCache (the PR-1 hot
 // path), the graph.Infinity sentinel for disconnected pairs, no silently
-// dropped errors, and package-level instrument metric registration.
+// dropped errors, package-level instrument metric registration, and the
+// determinism/concurrency contracts: no unsorted map iteration feeding
+// deterministic output (maporder), no wall-clock reads in model-time
+// packages (wallclock), journal-before-ack in internal/server (ackorder),
+// joined/bounded goroutines (goroexit), and lock/unlock discipline
+// (lockdiscipline).
+//
+// The pass is type-aware: Load resolves the whole repository once with
+// go/types (see types.go), so analyzers match package identity — the actual
+// edgerep/internal/graph Dijkstra, the actual time.Now — rather than
+// identifier spelling, and fall back to the conservative name heuristics
+// only where resolution is unavailable (test files, broken fixtures).
+//
+// Individual findings can be suppressed with a directive on the offending
+// line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory and an unused suppression is itself a finding, so
+// the set of waived call sites stays auditable and can never rot silently.
 //
 // The pass runs three ways: as the cmd/edgerepvet CLI, as the in-repo gate
 // TestLintRepo (so `go test ./...` itself fails on violations), and as a
 // step in ci.sh between vet and build. Analyzers operate on a Repo — every
-// parsed file plus cross-file indexes — so rules that need whole-repo
-// context (duplicate metric names, repo-declared error signatures) stay
-// single-pass.
+// parsed file plus cross-file indexes and the resolved type info — so rules
+// that need whole-repo context stay single-pass.
 package lint
 
 import (
@@ -19,11 +37,13 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"edgerep/internal/instrument"
 )
@@ -34,6 +54,7 @@ var (
 	statAnalyzers = instrument.NewCounter("lint.analyzers_run")
 	statFiles     = instrument.NewCounter("lint.files_scanned")
 	statFindings  = instrument.NewCounter("lint.findings")
+	statTypeErrs  = instrument.NewCounter("lint.type_errors")
 )
 
 // Finding is one rule violation at one source position.
@@ -57,6 +78,29 @@ type Analyzer struct {
 	Run  func(*Repo) []Finding
 }
 
+// Timing is one analyzer's share of a Run: how many findings it raised
+// (before suppression) and how long it took. edgerepvet -stats and -json
+// report these per pass.
+type Timing struct {
+	Name     string        `json:"name"`
+	Findings int           `json:"findings"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// directive is one //lint:ignore comment. A directive suppresses findings
+// of its analyzer on its own line or the line immediately below; a directive
+// with no reason, an unknown analyzer name, or no matching finding is
+// reported as a finding itself (analyzer "ignore").
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// ignoreAnalyzer names the pseudo-analyzer that reports directive misuse.
+const ignoreAnalyzer = "ignore"
+
 // File is one parsed source file plus the repo-relative metadata the
 // analyzers key their scoping decisions on.
 type File struct {
@@ -68,37 +112,61 @@ type File struct {
 	Pkg string
 	// IsTest reports a _test.go file.
 	IsTest bool
+
+	directives []*directive
 }
 
 // Repo is the parsed universe one lint pass runs over.
 type Repo struct {
 	Fset  *token.FileSet
 	Files []*File
+
+	// Info holds the merged go/types resolution of every non-test file,
+	// populated best-effort by typecheck (types.go). Analyzers access it
+	// through obj/callee/typeOf and fall back to syntax when nil entries
+	// come back.
+	Info *types.Info
+	// TypeErrors records the first type-check diagnostics (best-effort
+	// resolution never fails the pass; these surface in -stats/-json).
+	TypeErrors   []string
+	typeErrCount int64
+
+	// Timings records the per-analyzer findings/duration of the most
+	// recent Run.
+	Timings []Timing
+
+	// diskRoot is the module root used to resolve repo-internal imports of
+	// packages the Repo does not hold itself ("" when unknown).
+	diskRoot string
+	pkgs     map[string]*types.Package
+
+	fileByPath map[string]*File
+
 	// errFuncs maps function/method names declared in the repo to whether
 	// every declaration of that name has error as its last result — the
 	// conservative condition under which a bare call statement provably
-	// discards an error.
+	// discards an error. Used only where type resolution is unavailable.
 	errFuncs map[string]bool
 	// noErrFuncs maps names to whether SOME repo declaration lacks an error
-	// result — the escape hatch droppederr's file-handle rule needs to stay
-	// AST-only: a bare Close()/Sync() is only provably dropping an error
-	// when no error-less declaration of that name exists to call instead.
+	// result — the escape hatch droppederr's file-handle rule needs in
+	// syntactic fallback: a bare Close()/Sync() is only provably dropping
+	// an error when no error-less declaration of that name exists.
 	noErrFuncs map[string]bool
 }
 
 // Load parses every .go file under root (skipping testdata and dot
-// directories) into a Repo ready for Run. File paths — and therefore the
-// package scoping the analyzers key on, e.g. the internal/graph exemption —
-// are made relative to the enclosing module root (nearest go.mod at or
-// above root), so `edgerepvet ./internal/...` scopes identically to
-// `edgerepvet ./...`.
+// directories) into a Repo ready for Run, then type-checks it. File paths —
+// and therefore the package scoping the analyzers key on, e.g. the
+// internal/graph exemption — are made relative to the enclosing module root
+// (nearest go.mod at or above root), so `edgerepvet ./internal/...` scopes
+// identically to `edgerepvet ./...`.
 func Load(root string) (*Repo, error) {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
 	base := moduleRoot(absRoot)
-	r := &Repo{Fset: token.NewFileSet()}
+	r := &Repo{Fset: token.NewFileSet(), diskRoot: base}
 	err = filepath.WalkDir(absRoot, func(path string, d fs.DirEntry, walkErr error) error {
 		if walkErr != nil {
 			return walkErr
@@ -147,14 +215,26 @@ func moduleRoot(dir string) string {
 
 // NewRepoFromSource builds a single-file Repo from an in-memory snippet —
 // the entry point the analyzer fixture tests use so regressions are caught
-// without walking the real tree.
+// without walking the real tree. Repo-internal imports resolve against the
+// enclosing module on disk (found from the working directory), so typed
+// fixtures can reference real packages like edgerep/internal/graph.
 func NewRepoFromSource(filename, src string) (*Repo, error) {
 	r := &Repo{Fset: token.NewFileSet()}
+	if wd, err := os.Getwd(); err == nil {
+		if base := moduleRoot(wd); base != wd || fileExists(filepath.Join(base, "go.mod")) {
+			r.diskRoot = base
+		}
+	}
 	if err := r.addFile(filename, src); err != nil {
 		return nil, err
 	}
 	r.finish()
 	return r, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func (r *Repo) addFile(rel, src string) error {
@@ -163,18 +243,46 @@ func (r *Repo) addFile(rel, src string) error {
 		return fmt.Errorf("lint: parse %s: %w", rel, err)
 	}
 	pkg := filepath.ToSlash(filepath.Dir(rel))
-	r.Files = append(r.Files, &File{
+	file := &File{
 		AST:    f,
 		Path:   rel,
 		Pkg:    pkg,
 		IsTest: strings.HasSuffix(rel, "_test.go"),
-	})
+	}
+	file.directives = parseDirectives(r.Fset, f)
+	r.Files = append(r.Files, file)
 	return nil
 }
 
-// finish builds the cross-file indexes and fixes a deterministic file order.
+// parseDirectives extracts every //lint:ignore comment of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			d := &directive{pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// finish builds the cross-file indexes, fixes a deterministic file order,
+// and resolves types.
 func (r *Repo) finish() {
 	sort.Slice(r.Files, func(i, j int) bool { return r.Files[i].Path < r.Files[j].Path })
+	r.fileByPath = make(map[string]*File, len(r.Files))
+	for _, f := range r.Files {
+		r.fileByPath[f.Path] = f
+	}
 	r.errFuncs = make(map[string]bool)
 	r.noErrFuncs = make(map[string]bool)
 	for _, f := range r.Files {
@@ -201,6 +309,8 @@ func (r *Repo) finish() {
 			}
 		}
 	}
+	r.typecheck()
+	statTypeErrs.Add(r.typeErrCount)
 }
 
 // ErrorReturning reports whether every repo-level declaration named name has
@@ -231,15 +341,25 @@ func importName(f *ast.File, path string) string {
 	return ""
 }
 
-// Run executes the given analyzers over the repo and returns the findings
-// sorted by position then analyzer name.
+// Run executes the given analyzers over the repo, applies the //lint:ignore
+// suppressions (reporting directive misuse — missing reason, unknown
+// analyzer, unused suppression — as findings of the "ignore"
+// pseudo-analyzer), and returns the surviving findings sorted by position
+// then analyzer name. Per-analyzer timing lands in r.Timings.
 func (r *Repo) Run(analyzers []*Analyzer) []Finding {
 	statFiles.Add(int64(len(r.Files)))
+	r.Timings = r.Timings[:0]
+	ran := make(map[string]bool, len(analyzers))
 	var out []Finding
 	for _, a := range analyzers {
 		statAnalyzers.Inc()
-		out = append(out, a.Run(r)...)
+		start := time.Now()
+		found := a.Run(r)
+		r.Timings = append(r.Timings, Timing{Name: a.Name, Findings: len(found), Elapsed: time.Since(start)})
+		ran[a.Name] = true
+		out = append(out, found...)
 	}
+	out = r.applySuppressions(out, ran)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -257,6 +377,62 @@ func (r *Repo) Run(analyzers []*Analyzer) []Finding {
 	return out
 }
 
+// applySuppressions drops findings covered by a well-formed //lint:ignore
+// directive and reports directive misuse. A directive covers findings of
+// its analyzer on its own line (trailing comment) or the line immediately
+// below (comment on its own line above the statement). ran limits the
+// unused-suppression check to analyzers that actually executed, so a
+// fixture run of one analyzer does not condemn directives for another.
+func (r *Repo) applySuppressions(findings []Finding, ran map[string]bool) []Finding {
+	any := false
+	for _, f := range r.Files {
+		if len(f.directives) > 0 {
+			any = true
+			for _, d := range f.directives {
+				d.used = false // Run may be invoked repeatedly on one Repo
+			}
+		}
+	}
+	if !any {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		file := r.fileByPath[f.Pos.Filename]
+		suppressed := false
+		if file != nil {
+			for _, d := range file.directives {
+				if d.analyzer != f.Analyzer || d.reason == "" {
+					continue
+				}
+				if d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1 {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, file := range r.Files {
+		for _, d := range file.directives {
+			switch {
+			case d.analyzer == "" || d.reason == "":
+				kept = append(kept, Finding{Pos: d.pos, Analyzer: ignoreAnalyzer,
+					Message: "//lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>"})
+			case ByName(d.analyzer) == nil:
+				kept = append(kept, Finding{Pos: d.pos, Analyzer: ignoreAnalyzer,
+					Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q (see edgerepvet -list)", d.analyzer)})
+			case ran[d.analyzer] && !d.used:
+				kept = append(kept, Finding{Pos: d.pos, Analyzer: ignoreAnalyzer,
+					Message: fmt.Sprintf("unused //lint:ignore %s suppression; the violation it waived is gone — delete the directive", d.analyzer)})
+			}
+		}
+	}
+	return kept
+}
+
 // Analyzers returns every registered analyzer in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -267,6 +443,11 @@ func Analyzers() []*Analyzer {
 		instrReg,
 		traceReason,
 		pkgDoc,
+		mapOrder,
+		wallClock,
+		ackOrder,
+		goroExit,
+		lockDiscipline,
 	}
 }
 

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOn builds a single-file repo and runs the named analyzers over it.
+func runOn(t *testing.T, filename, src string, names ...string) []Finding {
+	t.Helper()
+	repo, err := NewRepoFromSource(filename, src)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	var as []*Analyzer
+	for _, n := range names {
+		a := ByName(n)
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", n)
+		}
+		as = append(as, a)
+	}
+	return repo.Run(as)
+}
+
+// TestSuppressionDirective covers the //lint:ignore contract: a well-formed
+// directive on the offending line or the line above waives exactly that
+// analyzer's finding; malformed or stale directives are findings themselves.
+func TestSuppressionDirective(t *testing.T) {
+	t.Run("line-above suppresses", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() {
+	//lint:ignore droppederr fire-and-forget cache warmup, failure is benign
+	save()
+}
+`, "droppederr")
+		if len(findings) != 0 {
+			t.Fatalf("suppressed violation still reported: %v", findings)
+		}
+	})
+
+	t.Run("trailing same-line suppresses", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() {
+	save() //lint:ignore droppederr fire-and-forget cache warmup, failure is benign
+}
+`, "droppederr")
+		if len(findings) != 0 {
+			t.Fatalf("suppressed violation still reported: %v", findings)
+		}
+	})
+
+	t.Run("missing reason does not suppress and is a finding", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() {
+	//lint:ignore droppederr
+	save()
+}
+`, "droppederr")
+		var sawViolation, sawIgnore bool
+		for _, f := range findings {
+			switch f.Analyzer {
+			case "droppederr":
+				sawViolation = true
+			case ignoreAnalyzer:
+				sawIgnore = true
+				if !strings.Contains(f.Message, "needs an analyzer name and a reason") {
+					t.Errorf("unexpected ignore message: %v", f)
+				}
+			}
+		}
+		if !sawViolation {
+			t.Errorf("reasonless directive suppressed the violation: %v", findings)
+		}
+		if !sawIgnore {
+			t.Errorf("reasonless directive not reported: %v", findings)
+		}
+	})
+
+	t.Run("unknown analyzer name is a finding", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+//lint:ignore nosuchrule because I said so
+func f() {}
+`, "droppederr")
+		if len(findings) != 1 || findings[0].Analyzer != ignoreAnalyzer ||
+			!strings.Contains(findings[0].Message, `unknown analyzer "nosuchrule"`) {
+			t.Fatalf("findings = %v, want one unknown-analyzer ignore finding", findings)
+		}
+	})
+
+	t.Run("unused suppression is a finding", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() error {
+	//lint:ignore droppederr stale waiver, the call below handles its error now
+	return save()
+}
+`, "droppederr")
+		if len(findings) != 1 || findings[0].Analyzer != ignoreAnalyzer ||
+			!strings.Contains(findings[0].Message, "unused //lint:ignore droppederr") {
+			t.Fatalf("findings = %v, want one unused-suppression finding", findings)
+		}
+	})
+
+	t.Run("directive for an analyzer that did not run is not unused", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() {
+	//lint:ignore droppederr fire-and-forget cache warmup, failure is benign
+	save()
+}
+`, "pkgdoc")
+		for _, f := range findings {
+			if f.Analyzer == ignoreAnalyzer {
+				t.Fatalf("directive condemned although its analyzer did not run: %v", f)
+			}
+		}
+	})
+
+	t.Run("suppression only covers its own analyzer", func(t *testing.T) {
+		findings := runOn(t, "internal/fix/fix.go", `package fix
+func save() error { return nil }
+func f() {
+	//lint:ignore seededrand wrong analyzer on purpose
+	save()
+}
+`, "droppederr", "seededrand")
+		var sawViolation bool
+		for _, f := range findings {
+			if f.Analyzer == "droppederr" {
+				sawViolation = true
+			}
+		}
+		if !sawViolation {
+			t.Fatalf("directive for another analyzer suppressed the finding: %v", findings)
+		}
+	})
+}

@@ -152,6 +152,7 @@ func Serve(addr string, handler http.Handler) (string, func() error, error) {
 	}
 	instrument.Enable()
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroexit acceptor lives for the process; the returned srv.Close stops it and Serve returns on listener close
 	go func() {
 		// ErrServerClosed is the normal shutdown path; anything else has no
 		// caller left to report to.
