@@ -1,9 +1,9 @@
-// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr7.json,
+// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr8.json,
 // the machine-readable record of how fast the hot paths are at this PR and
-// how they compare to the seed tree (BENCH_pr1.json, BENCH_pr5.json, and
-// BENCH_pr6.json are the committed earlier snapshots and stay untouched).
-// The workloads mirror the named benchmarks in bench_test.go plus the
-// edgerepd load driver;
+// how they compare to the seed tree (BENCH_pr1.json, BENCH_pr5.json,
+// BENCH_pr6.json, and BENCH_pr7.json are the committed earlier snapshots and
+// stay untouched). The workloads mirror the named benchmarks in bench_test.go
+// plus the edgerepd load driver — with and without latency attribution;
 // timing runs with instrumentation disabled (its disabled-mode cost is
 // zero-alloc, see internal/instrument), then one instrumented pass captures
 // the counters behind the numbers.
@@ -30,7 +30,7 @@ import (
 	"edgerep/internal/server"
 )
 
-var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr7.json")
+var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr8.json")
 
 // Seed-tree reference numbers for the workloads below, measured with
 // `go test -bench -benchmem` at the growth seed (commit 7f6be61) on the same
@@ -83,11 +83,11 @@ func ratio(a, b float64) float64 {
 
 func TestWriteBenchReport(t *testing.T) {
 	if !*benchReportFlag {
-		t.Skip("pass -benchreport to regenerate BENCH_pr7.json")
+		t.Skip("pass -benchreport to regenerate BENCH_pr8.json")
 	}
 
 	report := &instrument.BenchReport{
-		PR:          "pr7",
+		PR:          "pr8",
 		GoVersion:   runtime.Version(),
 		Host:        fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		GeneratedBy: "go test -run TestWriteBenchReport -benchreport .",
@@ -294,6 +294,7 @@ func TestWriteBenchReport(t *testing.T) {
 			b.StartTimer()
 		}
 	}
+	instrument.DisableAttribution()
 	r, snap = measure(t, daemon)
 	e = instrument.BenchEntry{
 		Name:        "DaemonThroughput",
@@ -311,6 +312,57 @@ func TestWriteBenchReport(t *testing.T) {
 			"mean_epoch_queries": lastRep.MeanEpochQueries,
 			"epoch_occupancy":    lastRep.Occupancy,
 		},
+	}
+	report.Entries = append(report.Entries, e)
+	daemonPlainDps := lastRep.DecisionsPerSec
+
+	// Attribution overhead: the identical drive with latency attribution on
+	// and the full observability chain attached (stage histograms + exemplar
+	// stamping, SLO tracker, flight recorder) — the edgerepd default
+	// configuration. Two acceptance checks ride on this entry: sustained
+	// decision throughput (enqueue→last response; the report's percentile
+	// analysis runs after the clock stops in both modes) stays within 1.1× of
+	// the attribution-off drive, and the attributed stage-sum p95 lands
+	// within 10% of the measured end-to-end p95 (the six stages partition the
+	// enqueue→response interval — if the ratio drifts, latency is escaping
+	// attribution).
+	daemonAttr := func(b *testing.B) {
+		instrument.EnableAttribution()
+		instrument.SetSLOTracker(instrument.NewSLOTracker(instrument.SLOConfig{}))
+		instrument.SetFlightRecorder(instrument.NewFlightRecorder(512, nil))
+		defer func() {
+			instrument.DisableAttribution()
+			instrument.SetSLOTracker(nil)
+			instrument.SetFlightRecorder(nil)
+		}()
+		daemon(b)
+	}
+	r, _ = measure(t, daemonAttr)
+	attrRatio := ratio(daemonPlainDps, lastRep.DecisionsPerSec)
+	stageSumVsP95 := ratio(float64(lastRep.StageSumP95), float64(lastRep.P95))
+	if attrRatio > 1.1 {
+		t.Errorf("attribution overhead %.3fx, want <= 1.1x of the attribution-off drive", attrRatio)
+	}
+	if stageSumVsP95 < 0.9 || stageSumVsP95 > 1.1 {
+		t.Errorf("stage-sum p95 is %.3fx the end-to-end p95; want within 10%% (latency escaping attribution)", stageSumVsP95)
+	}
+	derived := map[string]float64{
+		"attribution_overhead_ratio": attrRatio,
+		"admissions_per_sec":         lastRep.DecisionsPerSec,
+		"p95_latency_ns":             float64(lastRep.P95),
+		"stage_sum_p95_ns":           float64(lastRep.StageSumP95),
+		"stage_sum_vs_e2e_p95":       stageSumVsP95,
+	}
+	for _, st := range lastRep.Stages {
+		derived["stage_"+st.Stage+"_p95_ns"] = float64(st.P95)
+	}
+	e = instrument.BenchEntry{
+		Name:        "AttributionOverhead",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Derived:     derived,
 	}
 	report.Entries = append(report.Entries, e)
 
@@ -357,7 +409,7 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
-	if err := report.WriteFile("BENCH_pr7.json"); err != nil {
+	if err := report.WriteFile("BENCH_pr8.json"); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range report.Entries {
@@ -372,11 +424,14 @@ func TestWriteBenchReport(t *testing.T) {
 // performance. BENCH_pr5.json onward must additionally carry the
 // JournalOverhead entry with a sane journaled-vs-unjournaled sweep ratio,
 // BENCH_pr6.json onward the DaemonThroughput entry at the issue's ≥50k
-// admission-decisions/s floor with full latency percentiles, and
-// BENCH_pr7.json the type-checked EdgerepvetRepoScan inside the <30s ci.sh
-// budget.
+// admission-decisions/s floor with full latency percentiles,
+// BENCH_pr7.json onward the type-checked EdgerepvetRepoScan inside the <30s
+// ci.sh budget, and BENCH_pr8.json the AttributionOverhead entry: the drive
+// with attribution on at ≤1.1× the attribution-off drive, with a per-stage
+// p95 breakdown whose stage-sum p95 sits within 10% of the measured
+// end-to-end p95.
 func TestBenchReportCommitted(t *testing.T) {
-	for _, pr := range []string{"pr1", "pr5", "pr6", "pr7"} {
+	for _, pr := range []string{"pr1", "pr5", "pr6", "pr7", "pr8"} {
 		path := "BENCH_" + pr + ".json"
 		r, err := instrument.ReadReport(path)
 		if err != nil {
@@ -396,7 +451,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s %s: slower than the seed tree (speedup %.2f)", path, e.Name, e.Speedup)
 			}
 		}
-		if pr == "pr5" || pr == "pr6" || pr == "pr7" {
+		if pr == "pr5" || pr == "pr6" || pr == "pr7" || pr == "pr8" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name == "JournalOverhead" {
@@ -410,7 +465,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the JournalOverhead entry", path)
 			}
 		}
-		if pr == "pr6" || pr == "pr7" {
+		if pr == "pr6" || pr == "pr7" || pr == "pr8" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "DaemonThroughput" {
@@ -433,7 +488,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the DaemonThroughput entry", path)
 			}
 		}
-		if pr == "pr7" {
+		if pr == "pr7" || pr == "pr8" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "EdgerepvetRepoScan" {
@@ -455,6 +510,29 @@ func TestBenchReportCommitted(t *testing.T) {
 			}
 			if !found {
 				t.Errorf("%s lacks the EdgerepvetRepoScan entry", path)
+			}
+		}
+		if pr == "pr8" {
+			found := false
+			for _, e := range r.Entries {
+				if e.Name != "AttributionOverhead" {
+					continue
+				}
+				found = true
+				if ratio := e.Derived["attribution_overhead_ratio"]; ratio <= 0 || ratio > 1.1 {
+					t.Errorf("AttributionOverhead ratio %v, want in (0, 1.1]", ratio)
+				}
+				if sum := e.Derived["stage_sum_vs_e2e_p95"]; sum < 0.9 || sum > 1.1 {
+					t.Errorf("AttributionOverhead stage-sum p95 is %vx the end-to-end p95; want within 10%%", sum)
+				}
+				for _, stage := range instrument.StageNames {
+					if v, ok := e.Derived["stage_"+stage+"_p95_ns"]; !ok || v < 0 {
+						t.Errorf("AttributionOverhead lacks the %s stage p95", stage)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s lacks the AttributionOverhead entry", path)
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Repository gate: formatting, vet, repo-specific analyzers (edgerepvet),
-# build, race-enabled tests, durability (journal/recovery + kill-and-resume
-# byte-identity), the edgerepd daemon drill (selfdrive byte-identity +
-# HTTP serve/kill -9/resume), docs link check, example smoke, bench smoke.
+# build, race-enabled tests, attribution gates (zero-alloc off path,
+# byte-identical traces, flight-ring race stress), durability (journal/
+# recovery + kill-and-resume byte-identity), the edgerepd daemon drill
+# (selfdrive byte-identity + HTTP serve/kill -9/resume + live /slo and
+# /debug/flight probes + SIGTERM flight snapshot), docs link check,
+# example smoke, bench smoke.
 # Run before every commit. See ARCHITECTURE.md, "CI".
 set -eu
 
@@ -45,6 +48,11 @@ go test -race ./...
 echo "== trace gates (zero-alloc inactive emission + deterministic JSONL golden)"
 go test -run 'TestTraceEmissionZeroAllocInactive' ./internal/instrument ./internal/core
 go test -run 'TestTraceGoldenDeterministic' ./internal/experiments
+
+echo "== attribution gates (zero-alloc off path; byte-identical traces; flight ring race-clean)"
+go test -run 'TestAttributionZeroAllocInactive' ./internal/instrument
+go test -run 'TestAttributionTraceBytesIdentical|TestAttributionOffNoStageNs' ./internal/server
+go test -race -run 'TestFlightRecorderRaceStress' ./internal/instrument
 
 echo "== chaos gates (seeded crash sweep replays clean; failover paths race-clean; wall-clock smoke)"
 go test -run 'TestExtChaosTraceDeterministicAndValid' ./internal/experiments
@@ -107,10 +115,18 @@ until grep -q "serving on" "$tmp/dserve2.out" 2>/dev/null; do
 done
 grep -q "recovered 2000 decisions" "$tmp/dserve2.err"
 daddr=$(sed -n 's/^edgerepd: serving on //p' "$tmp/dserve2.out")
-"$tmp/edgerepd" -drive "$daddr" -count 500 | grep -q "drive ok: /metrics serves"
+"$tmp/edgerepd" -drive "$daddr" -count 500 > "$tmp/ddrive2.out"
+grep -q "drive ok: /metrics serves" "$tmp/ddrive2.out"
+# The observability endpoints must serve live data under drive traffic.
+grep -q "drive ok: /slo serves live data" "$tmp/ddrive2.out"
+grep -q "drive ok: /debug/flight serves live data" "$tmp/ddrive2.out"
 kill -TERM "$dpid"
 wait "$dpid"
 grep -q "drained" "$tmp/dserve2.err"
+# Graceful shutdown drops a flight-recorder snapshot next to the journal.
+[ -s "$tmp/dhttp-wal/flight-snapshot.json" ] || {
+    echo "SIGTERM drain left no flight-snapshot.json next to the journal" >&2; exit 1; }
+grep -q '"entries"' "$tmp/dhttp-wal/flight-snapshot.json"
 
 echo "== docs link check (files referenced from the operator docs exist)"
 for doc in README.md ARCHITECTURE.md OPERATIONS.md EXPERIMENTS.md DESIGN.md \

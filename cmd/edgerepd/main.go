@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
@@ -67,6 +68,13 @@ func main() {
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
 		stats    = flag.Bool("stats", false, "print runtime counters to stderr on exit")
 
+		attribution = flag.Bool("attribution", true, "stamp every decision with a per-stage latency timeline (queue/coalesce/pricing/journal/fsync/ack)")
+		slo         = flag.Bool("slo", true, "track rolling 1m/5m/1h SLO attainment and burn rate, served on /slo")
+		sloP95      = flag.Duration("slo-p95", 5*time.Millisecond, "admission-latency objective: 95% of decisions within this")
+		sloP99      = flag.Duration("slo-p99", 25*time.Millisecond, "admission-latency objective: 99% of decisions within this")
+		sloAttain   = flag.Float64("slo-attainment", 0.5, "deadline-attainment objective: fraction of offers that must be admitted")
+		flightN     = flag.Int("flight", 512, "flight recorder depth: keep the last N decision timelines + lifecycle events on /debug/flight (0 disables)")
+
 		selfdrive = flag.Bool("selfdrive", false, "replay a seeded workload through the in-process admission pipeline and report throughput")
 		count     = flag.Int("count", 200000, "selfdrive/drive: total offers to submit")
 		rate      = flag.Float64("rate", 0, "selfdrive: target offered load in queries/s of wall time (0 = as fast as possible)")
@@ -87,6 +95,8 @@ func main() {
 		epochMax: *epochMax, epochWait: *epochWait,
 		jdir: *jdir, resume: *resume, snapEvery: *snapEvery, noSync: *noSync,
 		traceOut: *traceOut, stats: *stats,
+		attribution: *attribution, slo: *slo, sloP95: *sloP95, sloP99: *sloP99,
+		sloAttain: *sloAttain, flightN: *flightN,
 		selfdrive: *selfdrive, count: *count, rate: *rate, pipeline: *pipeline,
 		driveSeed: *driveSeed, modelRate: *modelRate, meanHold: *meanHold, crashN: *crashN,
 		driveURL: *driveURL, batch: *batch,
@@ -97,28 +107,34 @@ func main() {
 }
 
 type runConfig struct {
-	httpAddr  string
-	instance  server.InstanceConfig
-	expected  int
-	maxUtil   float64
-	epochMax  int
-	epochWait time.Duration
-	jdir      string
-	resume    bool
-	snapEvery int
-	noSync    bool
-	traceOut  string
-	stats     bool
-	selfdrive bool
-	count     int
-	rate      float64
-	pipeline  int
-	driveSeed int64
-	modelRate float64
-	meanHold  float64
-	crashN    int
-	driveURL  string
-	batch     int
+	httpAddr    string
+	instance    server.InstanceConfig
+	expected    int
+	maxUtil     float64
+	epochMax    int
+	epochWait   time.Duration
+	jdir        string
+	resume      bool
+	snapEvery   int
+	noSync      bool
+	traceOut    string
+	stats       bool
+	attribution bool
+	slo         bool
+	sloP95      time.Duration
+	sloP99      time.Duration
+	sloAttain   float64
+	flightN     int
+	selfdrive   bool
+	count       int
+	rate        float64
+	pipeline    int
+	driveSeed   int64
+	modelRate   float64
+	meanHold    float64
+	crashN      int
+	driveURL    string
+	batch       int
 }
 
 func (c runConfig) expectedArrivals() int {
@@ -147,6 +163,32 @@ func run(cfg runConfig) error {
 			fmt.Fprint(os.Stderr, instrument.FormatSnapshot(instrument.Snapshot()))
 		}()
 	}
+	if cfg.attribution {
+		// Stage histograms live in the instrument registry, so attribution
+		// implies collection.
+		instrument.Enable()
+		instrument.EnableAttribution()
+	}
+	if cfg.slo {
+		instrument.Enable()
+		instrument.SetSLOTracker(instrument.NewSLOTracker(instrument.SLOConfig{
+			LatencyP95Target: cfg.sloP95.Seconds(),
+			LatencyP99Target: cfg.sloP99.Seconds(),
+			AttainmentTarget: cfg.sloAttain,
+		}))
+	}
+	if cfg.flightN > 0 {
+		instrument.SetFlightRecorder(instrument.NewFlightRecorder(cfg.flightN, nil))
+	}
+	// Best-effort post-mortem evidence: a panic on this goroutine dumps the
+	// flight recorder next to the journal before the process dies (SIGTERM
+	// drain does the same below).
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(cfg.jdir)
+			panic(r)
+		}
+	}()
 	if cfg.traceOut != "" {
 		closeTrace, err := instrument.OpenTraceFile(cfg.traceOut)
 		if err != nil {
@@ -273,10 +315,32 @@ func run(cfg runConfig) error {
 	if err := s.Drain(); err != nil {
 		return err
 	}
+	dumpFlight(cfg.jdir)
 	res := s.Result()
 	fmt.Fprintf(os.Stderr, "edgerepd: drained: admitted=%d rejected=%d volume=%.1fGB\n",
 		res.Admitted, res.Rejected, res.VolumeAdmitted)
 	return nil
+}
+
+// dumpFlight snapshots the flight recorder to <dir>/flight-snapshot.json —
+// the automatic post-mortem artifact on SIGTERM drain or panic. No-op
+// without an attached recorder or a journal directory to land it in.
+func dumpFlight(dir string) {
+	fr := instrument.CurrentFlightRecorder()
+	if fr == nil || dir == "" {
+		return
+	}
+	data, err := fr.DumpJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgerepd: flight snapshot: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, "flight-snapshot.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "edgerepd: flight snapshot: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "edgerepd: flight snapshot written to %s\n", path)
 }
 
 // driveRemote is the HTTP load driver: it POSTs -count queries in -batch
@@ -363,5 +427,33 @@ func driveRemote(cfg runConfig) error {
 		return fmt.Errorf("/metrics does not serve the daemon counters (status %s)", resp.Status)
 	}
 	fmt.Println("edgerepd: drive ok: /metrics serves the daemon counters")
+
+	// The observability endpoints: live SLO windows and the flight recorder.
+	// A 503 means the daemon was started with them off — noted, not fatal;
+	// any other non-200, or a payload without the expected fields, is.
+	for _, probe := range []struct{ path, want string }{
+		{"/slo", "burn_rate"},
+		{"/debug/flight", "entries"},
+	} {
+		resp, err := client.Get(base + probe.path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", probe.path, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); cerr != nil {
+			return cerr
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			fmt.Printf("edgerepd: drive: %s disabled on the daemon, skipping probe\n", probe.path)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(probe.want)) {
+			return fmt.Errorf("%s does not serve live data (status %s)", probe.path, resp.Status)
+		}
+		fmt.Printf("edgerepd: drive ok: %s serves live data\n", probe.path)
+	}
 	return nil
 }

@@ -44,7 +44,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"time"
 
 	"edgerep/internal/graph"
 	"edgerep/internal/instrument"
@@ -558,16 +557,13 @@ func run(p *placement.Problem, opt Options, algo string) (*Result, error) {
 	a := newAscent(p, opt)
 	a.beginTrace(algo)
 	if !opt.NoProactivePlacement {
-		//lint:ignore wallclock phase timing feeds timerProactive/ElapsedNs only; the deterministic trace sink drops timings
-		start := time.Now()
+		start := instrument.Mono()
 		a.proactivePlace()
-		//lint:ignore wallclock phase timing feeds timerProactive/ElapsedNs only; the deterministic trace sink drops timings
-		elapsed := time.Since(start)
+		elapsed := instrument.Mono() - start
 		timerProactive.Observe(elapsed)
 		a.emitPhase("proactive", elapsed)
 	}
-	//lint:ignore wallclock phase timing feeds timerAdmission/ElapsedNs only; the deterministic trace sink drops timings
-	ascentStart := time.Now()
+	ascentStart := instrument.Mono()
 	remaining := make([]int, len(p.Queries))
 	for i := range remaining {
 		remaining[i] = i
@@ -684,8 +680,7 @@ func run(p *placement.Problem, opt Options, algo string) (*Result, error) {
 		remaining = out
 	}
 
-	//lint:ignore wallclock phase timing feeds timerAdmission/ElapsedNs only; the deterministic trace sink drops timings
-	ascentElapsed := time.Since(ascentStart)
+	ascentElapsed := instrument.Mono() - ascentStart
 	timerAdmission.Observe(ascentElapsed)
 	a.emitPhase("admission", ascentElapsed)
 	histAscentRounds.Observe(float64(res.Rounds))

@@ -143,10 +143,13 @@ func (t *Timer) Count() int64 { return t.count.Load() }
 // Snapshot returns the current value of every registered counter plus, per
 // timer, "<name>.ns", "<name>.count", and "<name>.mean_ns" entries (count and
 // mean together expose low-N noise that a bare total hides in sweep
-// comparisons); per histogram, "<name>.count" and cumulative "<name>.le_…"
-// bucket entries; per gauge, "<name>.milli" (the value scaled by 1000 and
-// rounded, since the snapshot is integer-valued — the Prometheus endpoint
-// serves full precision).
+// comparisons); per histogram, "<name>.count", cumulative "<name>.le_…"
+// bucket entries, and "<name>.p50_micro"/".p95_micro"/".p99_micro"
+// (interpolated percentiles scaled by 1e6 and rounded, so second-valued
+// latency histograms read in microseconds — the same quantiles /metrics
+// serves, keeping -stats and the scrape in agreement); per gauge,
+// "<name>.milli" (the value scaled by 1000 and rounded, since the snapshot
+// is integer-valued — the Prometheus endpoint serves full precision).
 func Snapshot() map[string]int64 {
 	registry.Lock()
 	defer registry.Unlock()
@@ -171,6 +174,12 @@ func Snapshot() map[string]int64 {
 			cum += h.counts[i].Load()
 			out[fmt.Sprintf("%s.le_%g", name, b)] = cum
 		}
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{".p50_micro", 0.50}, {".p95_micro", 0.95}, {".p99_micro", 0.99}} {
+			out[name+q.suffix] = int64(math.Round(h.Quantile(q.q) * 1e6))
+		}
 	}
 	for name, g := range registry.gauges {
 		out[name+".milli"] = int64(math.Round(g.Value() * 1000))
@@ -192,6 +201,9 @@ func Reset() {
 	for _, h := range registry.histograms {
 		for i := range h.counts {
 			h.counts[i].Store(0)
+		}
+		for i := range h.exemplars {
+			h.exemplars[i].Store(0)
 		}
 		h.sumBits.Store(0)
 		h.count.Store(0)

@@ -3,6 +3,7 @@ package instrument
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,6 +60,21 @@ func WritePrometheus(w io.Writer) error {
 			fmt.Sprintf("%s_sum %s", n, promFloat(h.Sum())),
 			fmt.Sprintf("%s_count %d", n, h.Count()),
 		)
+		// Server-side interpolated quantiles (the same values -stats
+		// snapshots report as .p50_micro/…), so a curl of /metrics answers
+		// "what's p95" without a PromQL evaluator.
+		for _, q := range [...]float64{0.50, 0.95, 0.99} {
+			lines = append(lines, fmt.Sprintf("%s_quantile{q=%q} %s", n, promFloat(q), promFloat(h.Quantile(q))))
+		}
+		// Exemplars link slow buckets to concrete decision IDs resolvable
+		// in the flight recorder (/debug/flight).
+		for _, ex := range h.Exemplars() {
+			le := "+Inf"
+			if !math.IsInf(ex.LE, 1) {
+				le = promFloat(ex.LE)
+			}
+			lines = append(lines, fmt.Sprintf("%s_exemplar{le=%q} %d", n, le, ex.ID))
+		}
 		metrics = append(metrics, metric{name: n, lines: lines})
 	}
 	registry.Unlock()

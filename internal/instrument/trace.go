@@ -126,6 +126,11 @@ type TraceEvent struct {
 	// ElapsedNs is wall-clock and therefore nondeterministic; the JSONL sink
 	// zeroes it unless IncludeTimings is set.
 	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
+	// StageNs is the decision's per-stage latency attribution (StageNames
+	// order), present only when attribution is active. Like ElapsedNs it is
+	// wall-clock: the JSONL sink drops it unless IncludeTimings is set, so
+	// attribution never perturbs the byte-identical trace contract.
+	StageNs []int64 `json:"stage_ns,omitempty"`
 }
 
 // NewTraceEvent returns an event of the given kind with the entity fields
@@ -313,6 +318,7 @@ func (s *JSONLSink) Emit(ev *TraceEvent) {
 	e.Seq = s.seq
 	if !s.IncludeTimings {
 		e.ElapsedNs = 0
+		e.StageNs = nil
 	}
 	data, err := json.Marshal(&e)
 	if err != nil {

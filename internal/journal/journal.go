@@ -39,6 +39,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
+
+	"edgerep/internal/instrument"
 )
 
 const (
@@ -92,6 +95,12 @@ type Journal struct {
 	segSize  int64
 	lsn      int64
 	err      error // sticky: after a write error the journal refuses appends
+	// lastSyncNs is the duration of the most recent Append's fsync, measured
+	// via the sanctioned monotonic clock only while latency attribution is
+	// active (instrument.AttributionActive); it lets the serving layer split
+	// a decision's journal stage into marshal+write vs. disk sync without
+	// the journal reading the wall clock on the normal path.
+	lastSyncNs int64
 }
 
 // State is the recovered view of a journal directory: the newest valid
@@ -367,16 +376,29 @@ func (j *Journal) Append(payload []byte) (int64, error) {
 		j.err = fmt.Errorf("journal: append: %w", err)
 		return 0, j.err
 	}
+	j.lastSyncNs = 0
 	if !j.opt.NoSync {
+		attributed := instrument.AttributionActive()
+		var syncStart time.Duration
+		if attributed {
+			syncStart = instrument.Mono()
+		}
 		if err := j.f.Sync(); err != nil {
 			j.err = fmt.Errorf("journal: sync: %w", err)
 			return 0, j.err
+		}
+		if attributed {
+			j.lastSyncNs = int64(instrument.Mono() - syncStart)
 		}
 	}
 	j.segSize += int64(len(frame))
 	j.lsn++
 	return j.lsn, nil
 }
+
+// LastSyncNs returns the fsync duration of the most recent Append — nonzero
+// only while latency attribution is active and the journal syncs per append.
+func (j *Journal) LastSyncNs() int64 { return j.lastSyncNs }
 
 // rotate closes the active segment and starts the next one.
 func (j *Journal) rotate() error {

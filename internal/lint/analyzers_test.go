@@ -635,6 +635,50 @@ const flushEvery = 5 * time.Second
 func f(d time.Duration) bool { return d > flushEvery }
 `,
 	},
+	{
+		name:     "finding directs to the sanctioned monotonic source",
+		analyzer: "wallclock",
+		filename: "internal/online/fix.go",
+		src: `package fix
+import "time"
+func f() time.Time { return time.Now() }
+`,
+		wantSub: "instrument.Mono",
+	},
+	{
+		name:     "instrument.Mono in deterministic package ok",
+		analyzer: "wallclock",
+		filename: "internal/core/fix.go",
+		src: `package fix
+import (
+	"time"
+
+	"edgerep/internal/instrument"
+)
+func f() time.Duration {
+	start := instrument.Mono()
+	return instrument.Mono() - start
+}
+`,
+	},
+	{
+		name:     "injected instrument.Clock in deterministic package ok",
+		analyzer: "wallclock",
+		filename: "internal/sim/fix.go",
+		src: `package fix
+import (
+	"time"
+
+	"edgerep/internal/instrument"
+)
+func f(c instrument.Clock) time.Duration {
+	if c == nil {
+		c = instrument.MonoClock()
+	}
+	return c()
+}
+`,
+	},
 
 	// --- ackorder ---
 	{

@@ -228,9 +228,11 @@ func (r *Repo) sortBefore(body *ast.BlockStmt, pos token.Pos) bool {
 // deterministicPkgs are the model-time packages: everything they compute is
 // a function of config seed + input, replayed byte-identically from the
 // journal. A wall-clock read inside them is either a bug (model time should
-// come from the seeded clock / AtSec arrivals) or instrumentation that must
-// carry an explicit //lint:ignore wallclock waiver naming why it cannot
-// leak into deterministic output.
+// come from the seeded clock / AtSec arrivals) or instrumentation, which
+// must go through instrument.Mono / instrument.Clock — the one sanctioned
+// monotonic source. Mono yields a process-relative time.Duration that can
+// only feed timing fields the deterministic sinks drop, so it cannot leak
+// an absolute wall-clock reading into replayed output the way time.Now can.
 var deterministicPkgs = []string{
 	"internal/core",
 	"internal/sim",
@@ -281,7 +283,7 @@ var wallClock = &Analyzer{
 					name = sel.Sel.Name
 				}
 				out = append(out, Finding{Pos: r.pos(call), Analyzer: "wallclock",
-					Message: fmt.Sprintf("time.%s in deterministic package %s; model time comes from the seeded clock — or waive instrumentation with //lint:ignore wallclock <reason>", name, f.Pkg)})
+					Message: fmt.Sprintf("time.%s in deterministic package %s; model time comes from the seeded clock — time instrumentation through instrument.Mono (the sanctioned monotonic source)", name, f.Pkg)})
 				return true
 			})
 		}

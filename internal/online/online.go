@@ -21,6 +21,7 @@ import (
 	"edgerep/internal/cluster"
 	"edgerep/internal/consistency"
 	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
 	"edgerep/internal/journal"
 	"edgerep/internal/placement"
 	"edgerep/internal/workload"
@@ -165,6 +166,17 @@ type Engine struct {
 	jn        *journal.Journal
 	snapEvery int
 	replaying bool
+
+	// stages, when attached, is the serving layer's in-progress latency
+	// timeline for the arrival currently being offered (the epoch loop is
+	// single-writer, so a plain pointer suffices); emitAdmit/emitReject copy
+	// the prefix known at decision time into the trace event's StageNs while
+	// attribution is active. lastJournalNs/lastSyncNs record the duration of
+	// the last Offer's journal append and its fsync share, measured via the
+	// sanctioned monotonic clock only while attribution is active.
+	stages        *instrument.StageTimeline
+	lastJournalNs int64
+	lastSyncNs    int64
 }
 
 // NewEngine builds an online engine over a placement problem. The problem's
@@ -346,10 +358,37 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 		e.emitReject(a)
 	}
 	e.res.Decisions = append(e.res.Decisions, dec)
-	if err := e.journalOffer(a, dec); err != nil {
+	if !instrument.AttributionActive() {
+		if err := e.journalOffer(a, dec); err != nil {
+			return dec, err
+		}
+		return dec, nil
+	}
+	jStart := instrument.Mono()
+	err := e.journalOffer(a, dec)
+	e.lastJournalNs = int64(instrument.Mono() - jStart)
+	e.lastSyncNs = 0
+	if e.jn != nil && !e.replaying {
+		e.lastSyncNs = e.jn.LastSyncNs()
+	}
+	if err != nil {
 		return dec, err
 	}
 	return dec, nil
+}
+
+// AttachStages points the engine at the serving layer's in-progress stage
+// timeline for subsequent Offers (nil detaches). While attribution is
+// active, admit/reject trace events carry a copy of the timeline's known
+// prefix, so a traced decision links to its critical path.
+func (e *Engine) AttachStages(t *instrument.StageTimeline) { e.stages = t }
+
+// LastOfferJournalNs returns the journal-append duration of the most recent
+// Offer and the fsync share within it — both zero unless attribution was
+// active during the call. The serving layer uses the pair to split a
+// decision's journal stage from its fsync stage.
+func (e *Engine) LastOfferJournalNs() (journalNs, syncNs int64) {
+	return e.lastJournalNs, e.lastSyncNs
 }
 
 // pickNode selects the cheapest feasible node for one demand under the

@@ -58,7 +58,20 @@ func (e *Engine) emitAdmit(a Arrival, as []placement.Assignment) {
 		ev.Nodes = append(ev.Nodes, int64(asg.Node))
 		ev.Volume += e.p.Datasets[asg.Dataset].SizeGB
 	}
+	e.attachStageNs(&ev)
 	instrument.EmitTrace(&ev)
+}
+
+// attachStageNs copies the serving layer's in-progress timeline (the prefix
+// known at decision time — queue and coalesce; later stages haven't run yet)
+// onto a decision event while attribution is active. The JSONL sink drops
+// StageNs unless IncludeTimings is set, so this never perturbs the
+// byte-identical trace contract.
+func (e *Engine) attachStageNs(ev *instrument.TraceEvent) {
+	if e.stages == nil || !instrument.AttributionActive() {
+		return
+	}
+	ev.StageNs = append([]int64(nil), e.stages[:]...)
 }
 
 // ClassifyRejection attributes a rejection of q to the paper constraint that
@@ -93,6 +106,7 @@ func (e *Engine) emitReject(a Arrival) {
 	ev.Reason = reason
 	ev.Dataset = int64(ds)
 	ev.Node = int64(node)
+	e.attachStageNs(&ev)
 	instrument.EmitTrace(&ev)
 }
 
@@ -108,6 +122,9 @@ func (e *Engine) downPredicate() func(graph.NodeID) bool {
 // emitCrash records a node failure: Node is the crashed node, Volume the
 // demanded volume of the admissions it was serving at that instant.
 func (e *Engine) emitCrash(v graph.NodeID, affectedVolume float64) {
+	if fr := instrument.CurrentFlightRecorder(); fr != nil {
+		fr.RecordEvent(instrument.EventCrash, -1, int64(v), instrument.ReasonNodeCrashed)
+	}
 	if !instrument.TraceActive() {
 		return
 	}
@@ -120,6 +137,9 @@ func (e *Engine) emitCrash(v graph.NodeID, affectedVolume float64) {
 
 // emitRepair records one stranded assignment re-pointed at node w.
 func (e *Engine) emitRepair(q workload.QueryID, n workload.DatasetID, w graph.NodeID) {
+	if fr := instrument.CurrentFlightRecorder(); fr != nil {
+		fr.RecordEvent(instrument.EventRepair, int64(q), int64(w), instrument.ReasonRepaired)
+	}
 	if !instrument.TraceActive() {
 		return
 	}
@@ -135,6 +155,9 @@ func (e *Engine) emitRepair(q workload.QueryID, n workload.DatasetID, w graph.No
 // emitEvict records an admitted query given up after a crash; Volume is the
 // demanded volume handed back.
 func (e *Engine) emitEvict(q workload.QueryID, vol float64) {
+	if fr := instrument.CurrentFlightRecorder(); fr != nil {
+		fr.RecordEvent(instrument.EventEvict, int64(q), -1, instrument.ReasonNodeCrashed)
+	}
 	if !instrument.TraceActive() {
 		return
 	}

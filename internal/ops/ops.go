@@ -4,13 +4,19 @@
 //
 //	/metrics        the instrument registry in Prometheus text format
 //	/progress       the running figure sweep as JSON (internal/experiments)
+//	/slo            rolling SLO attainment + error-budget burn rate as JSON
+//	/debug/flight   the flight recorder's last-N decision timelines as JSON
 //	/debug/pprof/*  the standard net/http/pprof profiling handlers
+//
+// /slo and /debug/flight answer 503 when their collector is not attached
+// (the daemon attaches both unless started with -slo=false / -flight 0).
 //
 // The endpoint is read-only and unauthenticated; it is meant for localhost
 // profiling of a sweep in flight, not for exposure beyond the machine.
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -27,6 +33,8 @@ func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", metricsHandler)
 	mux.HandleFunc("/progress", progressHandler)
+	mux.HandleFunc("/slo", sloHandler)
+	mux.HandleFunc("/debug/flight", flightHandler)
 	// pprof registers on DefaultServeMux at import; route it explicitly so
 	// the endpoint works on this private mux.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -58,6 +66,48 @@ func progressHandler(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// sloHandler serves the SLO tracker's multi-window report, with the
+// admission-latency histogram's bucket exemplars attached so a slow bucket
+// links to a concrete decision ID in the flight recorder.
+func sloHandler(w http.ResponseWriter, _ *http.Request) {
+	t := instrument.CurrentSLOTracker()
+	if t == nil {
+		http.Error(w, "slo tracking not attached (start the daemon with -slo)", http.StatusServiceUnavailable)
+		return
+	}
+	rep := t.Report()
+	if h := instrument.FindHistogram("server.admit_latency_seconds"); h != nil {
+		rep.Exemplars = h.Exemplars()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+// flightHandler dumps the flight recorder ring (oldest entry first).
+func flightHandler(w http.ResponseWriter, _ *http.Request) {
+	fr := instrument.CurrentFlightRecorder()
+	if fr == nil {
+		http.Error(w, "flight recorder not attached (start the daemon with -flight N)", http.StatusServiceUnavailable)
+		return
+	}
+	data, err := fr.DumpJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
 func indexHandler(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -65,7 +115,7 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := io.WriteString(w,
-		"edgerep ops endpoint\n\n/metrics\n/progress\n/debug/pprof/\n"); err != nil {
+		"edgerep ops endpoint\n\n/metrics\n/progress\n/slo\n/debug/flight\n/debug/pprof/\n"); err != nil {
 		return
 	}
 }

@@ -139,3 +139,55 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSLOAndFlightEndpoints covers both new observability routes: 503 with a
+// hint while the collector is detached, live JSON once attached.
+func TestSLOAndFlightEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	if code, body, _ := get(t, srv, "/slo"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "-slo") {
+		t.Fatalf("GET /slo detached = %d %q, want 503 naming the flag", code, body)
+	}
+	if code, body, _ := get(t, srv, "/debug/flight"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "-flight") {
+		t.Fatalf("GET /debug/flight detached = %d %q, want 503 naming the flag", code, body)
+	}
+
+	tr := instrument.NewSLOTracker(instrument.SLOConfig{})
+	fr := instrument.NewFlightRecorder(8, nil)
+	instrument.SetSLOTracker(tr)
+	instrument.SetFlightRecorder(fr)
+	defer instrument.SetSLOTracker(nil)
+	defer instrument.SetFlightRecorder(nil)
+	tr.Observe(0.002, true, "")
+	fr.RecordEvent(instrument.EventChaos, 1, -1, "")
+
+	code, body, hdr := get(t, srv, "/slo")
+	if code != http.StatusOK {
+		t.Fatalf("GET /slo attached = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/slo content type %q", ct)
+	}
+	var rep instrument.SLOReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/slo is not JSON: %v", err)
+	}
+	if len(rep.Windows) != 3 || rep.Windows[0].Offers != 1 {
+		t.Fatalf("/slo report windows %+v, want 3 with the observed offer", rep.Windows)
+	}
+
+	code, body, _ = get(t, srv, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/flight attached = %d", code)
+	}
+	var snap instrument.FlightSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/flight is not JSON: %v", err)
+	}
+	if snap.Recorded != 1 || len(snap.Entries) != 1 || snap.Entries[0].Kind != instrument.EventChaos {
+		t.Fatalf("/debug/flight snapshot %+v, want the one chaos entry", snap)
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"edgerep/internal/instrument"
+	"edgerep/internal/online"
+)
+
+// attributionOn enables latency attribution plus an SLO tracker and flight
+// recorder for one test, restoring the inactive defaults afterwards.
+func attributionOn(t *testing.T, flightN int) (*instrument.SLOTracker, *instrument.FlightRecorder) {
+	t.Helper()
+	tr := instrument.NewSLOTracker(instrument.SLOConfig{})
+	fr := instrument.NewFlightRecorder(flightN, nil)
+	instrument.EnableAttribution()
+	instrument.SetSLOTracker(tr)
+	instrument.SetFlightRecorder(fr)
+	t.Cleanup(func() {
+		instrument.DisableAttribution()
+		instrument.SetSLOTracker(nil)
+		instrument.SetFlightRecorder(nil)
+	})
+	return tr, fr
+}
+
+// TestAttributionStageTimelines drives decisions with attribution on and
+// checks the full observability chain: every response carries a complete
+// non-negative stage timeline, the SLO tracker saw every offer, the flight
+// recorder holds decision entries with the same timeline shape, and the
+// drive report's stage table covers all six stages with sane sums.
+func TestAttributionStageTimelines(t *testing.T) {
+	tr, fr := attributionOn(t, 128)
+	_, s := newTestServer(t, Config{})
+
+	at := 0.0
+	const offers = 64
+	for i := 0; i < offers; i++ {
+		at += 0.001
+		resp, err := s.Admit(AdmitRequest{Query: 0, AtSec: at, HoldSec: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.StageNs) != int(instrument.NumStages) {
+			t.Fatalf("response %d carries %d stage entries, want %d", i, len(resp.StageNs), instrument.NumStages)
+		}
+		var total int64
+		for st, ns := range resp.StageNs {
+			if ns < 0 {
+				t.Fatalf("response %d stage %s negative: %d", i, instrument.StageNames[st], ns)
+			}
+			total += ns
+		}
+		if total <= 0 {
+			t.Fatalf("response %d attributed zero total latency", i)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	win := tr.Report().Windows[0]
+	if win.Offers != offers {
+		t.Fatalf("SLO 1m window saw %d offers, want %d", win.Offers, offers)
+	}
+	if win.Admitted+win.Rejected != offers {
+		t.Fatalf("SLO window admits+rejects = %d, want %d", win.Admitted+win.Rejected, offers)
+	}
+
+	entries := fr.Entries()
+	decisions, drains := 0, 0
+	for _, e := range entries {
+		switch e.Kind {
+		case instrument.EventAdmit, instrument.EventReject:
+			decisions++
+			if len(e.Stages) != int(instrument.NumStages) || e.TotalNs <= 0 {
+				t.Fatalf("flight decision entry malformed: %+v", e)
+			}
+		case instrument.EventDrain:
+			drains++
+		}
+	}
+	if decisions != offers {
+		t.Fatalf("flight recorder holds %d decisions, want %d", decisions, offers)
+	}
+	if drains != 1 {
+		t.Fatalf("flight recorder holds %d drain events, want 1", drains)
+	}
+}
+
+// TestDriveReportStageTable exercises the load driver's attribution columns:
+// six per-stage percentile rows, a stage-sum percentile no larger than the
+// end-to-end percentile it partitions (the sum excludes only the response
+// hand-off), and the rendered report naming every stage.
+func TestDriveReportStageTable(t *testing.T) {
+	attributionOn(t, 32)
+	_, s := newTestServer(t, Config{})
+	rep, err := Drive(s, DriveConfig{Count: 600, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != int(instrument.NumStages) {
+		t.Fatalf("report has %d stage rows, want %d", len(rep.Stages), instrument.NumStages)
+	}
+	for i, st := range rep.Stages {
+		if st.Stage != instrument.StageNames[i] {
+			t.Fatalf("stage row %d is %q, want %q", i, st.Stage, instrument.StageNames[i])
+		}
+		if st.P50 > st.P95 || st.P95 > st.P99 {
+			t.Fatalf("stage %s percentiles not monotone: %+v", st.Stage, st)
+		}
+	}
+	if rep.StageSumP50 <= 0 {
+		t.Fatalf("stage-sum p50 = %v, want > 0", rep.StageSumP50)
+	}
+	rendered := rep.String()
+	for _, name := range instrument.StageNames {
+		if !bytes.Contains([]byte(rendered), []byte("stage "+name)) &&
+			!bytes.Contains([]byte(rendered), []byte(name)) {
+			t.Fatalf("rendered report misses stage %q:\n%s", name, rendered)
+		}
+	}
+}
+
+// TestAttributionTraceBytesIdentical is the determinism half of the
+// attribution contract: the JSONL trace of a seeded drive is byte-identical
+// with attribution on and off, because the deterministic sink drops StageNs
+// with the other timing fields.
+func TestAttributionTraceBytesIdentical(t *testing.T) {
+	runTraced := func(attr bool) []byte {
+		p := testInstance(t)
+		instrument.ResetTrace()
+		var buf bytes.Buffer
+		sink := instrument.NewJSONLSink(&buf)
+		instrument.SetTraceSink(sink)
+		defer instrument.ResetTrace()
+		if attr {
+			attributionOn(t, 128)
+		}
+		s := New(p, online.NewEngine(p, 1500, online.Options{}), Config{Clock: zeroClock})
+		if _, err := Drive(s, DriveConfig{Count: 1500, Seed: 29}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		instrument.ResetTrace()
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if attr {
+			instrument.DisableAttribution()
+			instrument.SetSLOTracker(nil)
+			instrument.SetFlightRecorder(nil)
+		}
+		return buf.Bytes()
+	}
+
+	plain := runTraced(false)
+	attributed := runTraced(true)
+	if len(plain) == 0 {
+		t.Fatal("drive emitted no trace")
+	}
+	if !bytes.Equal(plain, attributed) {
+		t.Fatalf("attribution changed the deterministic trace bytes (%d vs %d bytes)",
+			len(plain), len(attributed))
+	}
+}
+
+// TestAttributionOffNoStageNs confirms the off path: responses carry no
+// timeline, and the drive report has no stage table.
+func TestAttributionOffNoStageNs(t *testing.T) {
+	instrument.DisableAttribution()
+	_, s := newTestServer(t, Config{})
+	resp, err := s.Admit(AdmitRequest{Query: 0, AtSec: 0.001, HoldSec: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StageNs != nil {
+		t.Fatalf("attribution off but response carries StageNs %v", resp.StageNs)
+	}
+	rep, err := Drive(s, DriveConfig{Count: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 0 || rep.StageSumP95 != 0 {
+		t.Fatalf("attribution off but report has stage table: %+v", rep.Stages)
+	}
+}

@@ -11,9 +11,11 @@ package server
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
+	"edgerep/internal/instrument"
 	"edgerep/internal/workload"
 )
 
@@ -77,14 +79,46 @@ type DriveReport struct {
 	Epochs           int64   `json:"epochs"`
 	MeanEpochQueries float64 `json:"mean_epoch_queries"`
 	Occupancy        float64 `json:"occupancy"`
+	// Stages is the per-stage latency percentile table, filled only when the
+	// decisions carried stage timelines (latency attribution active).
+	Stages []StagePercentiles `json:"stages,omitempty"`
+	// StageSumP50/P95/P99 are percentiles of the per-decision stage *sums* —
+	// the server-side attributed end-to-end latency. Because the six stages
+	// partition the enqueue→response interval, StageSumP95 tracking P95
+	// (which additionally includes the response channel hand-off back to the
+	// client) is the proof that no latency goes unattributed.
+	StageSumP50 time.Duration `json:"stage_sum_p50_ns,omitempty"`
+	StageSumP95 time.Duration `json:"stage_sum_p95_ns,omitempty"`
+	StageSumP99 time.Duration `json:"stage_sum_p99_ns,omitempty"`
 }
 
-// String renders the report the way cmd/edgerepd prints it.
+// StagePercentiles is one critical-path stage's latency distribution over a
+// drive (see instrument.StageNames for the vocabulary).
+type StagePercentiles struct {
+	Stage string        `json:"stage"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// String renders the report the way cmd/edgerepd prints it: the summary
+// line, then (with attribution on) one line per critical-path stage plus the
+// attributed stage-sum percentiles.
 func (r DriveReport) String() string {
-	return fmt.Sprintf(
+	var b strings.Builder
+	fmt.Fprintf(&b,
 		"offers=%d admitted=%d rejected=%d elapsed=%s decisions/s=%.0f p50=%s p95=%s p99=%s epochs=%d mean-epoch=%.1f occupancy=%.3f",
 		r.Offers, r.Admitted, r.Rejected, r.Elapsed.Round(time.Millisecond),
 		r.DecisionsPerSec, r.P50, r.P95, r.P99, r.Epochs, r.MeanEpochQueries, r.Occupancy)
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "\n  stage %-8s mean=%-10s p50=%-10s p95=%-10s p99=%s",
+			st.Stage, st.Mean, st.P50, st.P95, st.P99)
+	}
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&b, "\n  stage-sum p50=%s p95=%s p99=%s", r.StageSumP50, r.StageSumP95, r.StageSumP99)
+	}
+	return b.String()
 }
 
 // arrivalStream deterministically generates the i-th..count-th offers of a
@@ -173,6 +207,15 @@ func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
 
 	rep := DriveReport{}
 	lat := make([]time.Duration, 0, len(arrivals))
+	// With attribution active, stage timelines land in one flat preallocated
+	// buffer via a single append per decision: the hot read loop must not pay
+	// append-growth reallocations, or driver-side collection would show up in
+	// the latencies it measures. The percentile analysis over the buffer runs
+	// after Elapsed is stamped, so it never counts against throughput.
+	var stageNs []int64
+	if instrument.AttributionActive() {
+		stageNs = make([]int64, 0, len(arrivals)*int(instrument.NumStages))
+	}
 	for fl := range pipe {
 		r := <-fl.ch
 		if r.err != nil {
@@ -185,6 +228,9 @@ func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
 		} else {
 			rep.Rejected++
 		}
+		if stageNs != nil && len(r.resp.StageNs) == int(instrument.NumStages) {
+			stageNs = append(stageNs, r.resp.StageNs...)
+		}
 	}
 	select {
 	case err := <-errCh:
@@ -195,7 +241,7 @@ func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
 	if rep.Elapsed > 0 {
 		rep.DecisionsPerSec = float64(rep.Offers) / rep.Elapsed.Seconds()
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	slices.Sort(lat)
 	rep.P50 = percentile(lat, 0.50)
 	rep.P95 = percentile(lat, 0.95)
 	rep.P99 = percentile(lat, 0.99)
@@ -203,6 +249,32 @@ func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
 	if rep.Epochs > 0 {
 		rep.MeanEpochQueries = float64(rep.Offers) / float64(rep.Epochs)
 		rep.Occupancy = rep.MeanEpochQueries / float64(s.cfg.epochMax())
+	}
+	if n := int(instrument.NumStages); len(stageNs) >= n {
+		decisions := len(stageNs) / n
+		col := make([]time.Duration, decisions)
+		sums := make([]time.Duration, decisions)
+		for i := 0; i < n; i++ {
+			var total time.Duration
+			for d := 0; d < decisions; d++ {
+				v := time.Duration(stageNs[d*n+i])
+				col[d] = v
+				total += v
+				sums[d] += v
+			}
+			slices.Sort(col)
+			rep.Stages = append(rep.Stages, StagePercentiles{
+				Stage: instrument.StageNames[i],
+				Mean:  total / time.Duration(decisions),
+				P50:   percentile(col, 0.50),
+				P95:   percentile(col, 0.95),
+				P99:   percentile(col, 0.99),
+			})
+		}
+		slices.Sort(sums)
+		rep.StageSumP50 = percentile(sums, 0.50)
+		rep.StageSumP95 = percentile(sums, 0.95)
+		rep.StageSumP99 = percentile(sums, 0.99)
 	}
 	return rep, nil
 }

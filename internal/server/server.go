@@ -26,6 +26,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +50,25 @@ var (
 	histEpochQueries = instrument.NewHistogram("server.epoch_queries",
 		1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 	gaugeEpochOccupancy = instrument.NewGauge("server.epoch_occupancy")
+
+	// Per-stage admission-latency histograms (latency attribution; filled
+	// only while instrument.AttributionActive). Indexed via stageHists in
+	// instrument.Stage order — the six stages partition enqueue→response.
+	histStageQueue    = instrument.NewHistogram("server.stage_queue_seconds", instrument.DefaultStageBuckets...)
+	histStageCoalesce = instrument.NewHistogram("server.stage_coalesce_seconds", instrument.DefaultStageBuckets...)
+	histStagePricing  = instrument.NewHistogram("server.stage_pricing_seconds", instrument.DefaultStageBuckets...)
+	histStageJournal  = instrument.NewHistogram("server.stage_journal_seconds", instrument.DefaultStageBuckets...)
+	histStageFsync    = instrument.NewHistogram("server.stage_fsync_seconds", instrument.DefaultStageBuckets...)
+	histStageAck      = instrument.NewHistogram("server.stage_ack_seconds", instrument.DefaultStageBuckets...)
+
+	stageHists = [instrument.NumStages]*instrument.Histogram{
+		instrument.StageQueue:    histStageQueue,
+		instrument.StageCoalesce: histStageCoalesce,
+		instrument.StagePricing:  histStagePricing,
+		instrument.StageJournal:  histStageJournal,
+		instrument.StageFsync:    histStageFsync,
+		instrument.StageAck:      histStageAck,
+	}
 )
 
 // ErrDraining is returned to admissions that arrive after graceful shutdown
@@ -128,6 +148,11 @@ type AdmitResponse struct {
 	Reason      instrument.Reason `json:"reason,omitempty"`
 	Dataset     int64             `json:"dataset"`
 	Node        int64             `json:"node"`
+	// StageNs is the decision's critical-path breakdown in
+	// instrument.StageNames order (queue/coalesce/pricing/journal/fsync/ack
+	// nanoseconds), present only while latency attribution is active. Its
+	// sum is the server-side enqueue→response latency of this decision.
+	StageNs []int64 `json:"stage_ns,omitempty"`
 }
 
 type result struct {
@@ -139,6 +164,9 @@ type pending struct {
 	req  AdmitRequest
 	enq  time.Time
 	resp chan result
+	// enqMono is the sanctioned-monotonic-clock enqueue stamp, taken instead
+	// of enq while attribution is active (queue stage = batch close−enqMono).
+	enqMono time.Duration
 }
 
 // Server owns the cluster state (one online engine) and serves admission.
@@ -170,6 +198,16 @@ type Server struct {
 	crashAfter int64
 	crashFn    func()
 
+	// stageBatch/admitBatch buffer the attributed per-decision histogram
+	// observations locally and flush once per epoch: only the epoch loop
+	// touches them, so the hot path pays no per-observation atomics.
+	stageBatch [instrument.NumStages]*instrument.HistogramBatch
+	admitBatch *instrument.HistogramBatch
+	// sloBatch buffers SLO observations the same way; it is rebuilt when a
+	// different tracker is attached (sloOwner remembers whose batch it is).
+	sloBatch *instrument.SLOBatch
+	sloOwner *instrument.SLOTracker
+
 	start time.Time
 	base  float64
 }
@@ -187,6 +225,10 @@ func New(p *placement.Problem, eng *online.Engine, cfg Config) *Server {
 		start: time.Now(),
 		base:  eng.Now(),
 	}
+	for i := range s.stageBatch {
+		s.stageBatch[i] = stageHists[i].NewBatch()
+	}
+	s.admitBatch = histAdmitLatency.NewBatch()
 	go s.run()
 	return s
 }
@@ -212,7 +254,15 @@ func (s *Server) enqueue(req AdmitRequest) (<-chan result, error) {
 	if int(req.Query) < 0 || int(req.Query) >= len(s.p.Queries) {
 		return nil, fmt.Errorf("server: unknown query %d", req.Query)
 	}
-	pd := &pending{req: req, enq: time.Now(), resp: make(chan result, 1)}
+	// One clock read per offer: the monotonic stamp when attribution is on
+	// (every interval it needs is monotonic-to-monotonic), the wall stamp
+	// otherwise (the plain latency observation's only input).
+	pd := &pending{req: req, resp: make(chan result, 1)}
+	if instrument.AttributionActive() {
+		pd.enqMono = instrument.Mono()
+	} else {
+		pd.enq = time.Now()
+	}
 	s.sendMu.RLock()
 	if s.draining {
 		s.sendMu.RUnlock()
@@ -272,7 +322,12 @@ func (s *Server) run() {
 }
 
 // processEpoch prices one micro-epoch against the engine's dual state and
-// answers every waiter.
+// answers every waiter. While latency attribution is active every decision
+// additionally gets a stage timeline: queue and coalesce split at the
+// batch-close stamp taken once per epoch, journal and fsync come from the
+// engine's journal measurement, pricing is the Offer duration net of the
+// journal append, and ack the response-construction tail — six stages that exactly partition the
+// enqueue→response interval (see instrument.StageTimeline).
 func (s *Server) processEpoch(batch []*pending) {
 	if len(batch) == 0 {
 		return
@@ -284,7 +339,31 @@ func (s *Server) processEpoch(batch []*pending) {
 	statEpochs.Inc()
 	histEpochQueries.Observe(float64(len(batch)))
 	gaugeEpochOccupancy.Set(float64(len(batch)) / float64(s.cfg.epochMax()))
-	for _, pd := range batch {
+	attributed := instrument.AttributionActive()
+	tr := instrument.CurrentSLOTracker()
+	fr := instrument.CurrentFlightRecorder()
+	if tr != nil && s.sloOwner != tr {
+		s.sloBatch, s.sloOwner = tr.NewBatch(), tr
+	}
+	var tl instrument.StageTimeline
+	var stageArena []int64
+	var batchClose time.Duration
+	if attributed {
+		// The engine copies the timeline's known prefix (queue, coalesce)
+		// onto the decision's trace event; detached when the epoch is done.
+		s.eng.AttachStages(&tl)
+		defer s.eng.AttachStages(nil)
+		// One arena allocation serves every response's StageNs this epoch
+		// (full-slice expressions below keep the sub-slices append-safe), so
+		// attribution costs one malloc per epoch, not one per decision.
+		stageArena = make([]int64, 0, len(batch)*int(instrument.NumStages))
+		// One stamp closes the epoch for every member: queue ends and
+		// coalesce begins here for the whole batch. An epoch spans a couple
+		// of milliseconds, so a shared stamp is well inside the stages'
+		// useful precision and saves a clock read per decision.
+		batchClose = instrument.Mono()
+	}
+	for i, pd := range batch {
 		at := pd.req.AtSec
 		if now := s.clock(); at < now {
 			at = now
@@ -292,7 +371,18 @@ func (s *Server) processEpoch(batch []*pending) {
 		if floor := s.eng.Now(); at < floor {
 			at = floor
 		}
+		var t0 time.Duration
+		if attributed {
+			t0 = instrument.Mono()
+			tl = instrument.StageTimeline{}
+			tl[instrument.StageQueue] = clampNs(int64(batchClose - pd.enqMono))
+			tl[instrument.StageCoalesce] = clampNs(int64(t0 - batchClose))
+		}
 		dec, err := s.eng.Offer(online.Arrival{Query: pd.req.Query, AtSec: at, HoldSec: pd.req.HoldSec})
+		var t1 time.Duration
+		if attributed {
+			t1 = instrument.Mono()
+		}
 		if err != nil {
 			pd.resp <- result{err: err}
 			continue
@@ -318,13 +408,85 @@ func (s *Server) processEpoch(batch []*pending) {
 			resp.Node = int64(node)
 		}
 		statOffers.Inc()
-		histAdmitLatency.Observe(time.Since(pd.enq).Seconds())
+		decisionID := s.offers + 1
+		var e2e float64
+		var end time.Duration
+		if attributed {
+			jNs, syncNs := s.eng.LastOfferJournalNs()
+			if syncNs > jNs {
+				syncNs = jNs
+			}
+			tl[instrument.StageJournal] = clampNs(jNs - syncNs)
+			tl[instrument.StageFsync] = clampNs(syncNs)
+			tl[instrument.StagePricing] = clampNs(int64(t1-t0) - jNs)
+			end = instrument.Mono()
+			tl[instrument.StageAck] = clampNs(int64(end - t1))
+			k := len(stageArena)
+			stageArena = append(stageArena, tl[:]...)
+			resp.StageNs = stageArena[k:len(stageArena):len(stageArena)]
+			for i := range s.stageBatch {
+				s.stageBatch[i].Observe(float64(tl[i])*1e-9, decisionID)
+			}
+			// The attributed end-to-end observation is the stage sum — the
+			// six stages telescope back to enqueue→response on one clock.
+			e2e = float64(tl.TotalNs()) * 1e-9
+			s.admitBatch.Observe(e2e, decisionID)
+		} else if !pd.enq.IsZero() {
+			e2e = time.Since(pd.enq).Seconds()
+			histAdmitLatency.Observe(e2e)
+		}
+		if tr != nil {
+			s.sloBatch.Observe(e2e, dec.Admitted, resp.Reason)
+		}
+		if fr != nil {
+			kind := instrument.EventAdmit
+			if !dec.Admitted {
+				kind = instrument.EventReject
+			}
+			var stages *instrument.StageTimeline
+			if attributed {
+				stages = &tl
+			}
+			fr.RecordDecisionAt(kind, int64(pd.req.Query), epoch, dec.Admitted, resp.Reason, stages, int64(end))
+		}
 		pd.resp <- result{resp: resp}
 		s.offers++
 		if s.crashAfter > 0 && s.offers == s.crashAfter && s.crashFn != nil {
+			if fr != nil {
+				fr.Record(instrument.FlightEntry{Kind: instrument.EventChaos})
+			}
 			s.crashFn()
 		}
+		// Yield periodically so answered waiters actually run. On small
+		// GOMAXPROCS the pricing loop would otherwise hold the processor for
+		// the whole epoch while responses sit delivered-but-unread, turning
+		// the ack hand-off into an epoch-sized convoy — latency attribution
+		// surfaced exactly this as stage sums falling far short of the
+		// client-observed end-to-end time. Batch order (and therefore the
+		// deterministic trace) is unaffected; only scheduling interleaves.
+		if i&31 == 31 {
+			runtime.Gosched()
+		}
 	}
+	if attributed {
+		for i := range s.stageBatch {
+			s.stageBatch[i].Flush()
+		}
+		s.admitBatch.Flush()
+	}
+	if tr != nil {
+		s.sloBatch.Flush()
+	}
+}
+
+// clampNs floors a stage duration at zero: clock-granularity jitter or an
+// attribution toggle mid-flight can make a difference of stamps negative, and
+// a timeline never reports negative time.
+func clampNs(ns int64) int64 {
+	if ns < 0 {
+		return 0
+	}
+	return ns
 }
 
 // Drain begins graceful shutdown: new admissions fail with ErrDraining, the
@@ -341,6 +503,9 @@ func (s *Server) Drain() error {
 	s.draining = true
 	close(s.reqs)
 	s.sendMu.Unlock()
+	if fr := instrument.CurrentFlightRecorder(); fr != nil {
+		fr.Record(instrument.FlightEntry{Kind: instrument.EventDrain})
+	}
 	<-s.done
 	s.mu.Lock()
 	defer s.mu.Unlock()
