@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repository gate: formatting, vet, repo-specific analyzers (edgerepvet),
-# build, race-enabled tests, attribution gates (zero-alloc off path,
-# byte-identical traces, flight-ring race stress), durability (journal/
-# recovery + kill-and-resume byte-identity), the edgerepd daemon drill
+# build, race-enabled tests, fast-path gates (zero-alloc pricing, fast-on/off
+# byte-identity, stale-table fuzz, chaos-on latency smoke), attribution gates
+# (zero-alloc off path, byte-identical traces, flight-ring race stress),
+# durability (journal/recovery + kill-and-resume byte-identity), the edgerepd daemon drill
 # (selfdrive byte-identity + HTTP serve/kill -9/resume + live /slo and
 # /debug/flight probes + SIGTERM flight snapshot), docs link check,
 # example smoke, bench smoke.
@@ -53,6 +54,13 @@ echo "== attribution gates (zero-alloc off path; byte-identical traces; flight r
 go test -run 'TestAttributionZeroAllocInactive' ./internal/instrument
 go test -run 'TestAttributionTraceBytesIdentical|TestAttributionOffNoStageNs' ./internal/server
 go test -race -run 'TestFlightRecorderRaceStress' ./internal/instrument
+
+echo "== fast-path gates (zero-alloc pricing; fast-on/off byte-identity; stale-table fuzz under -race)"
+go test -run 'TestFastPathZeroAlloc' ./internal/online
+go test -run 'TestFastPathEquivalence|TestFastPathByteIdenticalJournalAndTrace' ./internal/online ./internal/server
+go test -race -run 'TestFastPathStaleTableFuzz|TestFastPathRestoreChurnRace|TestAckConvoyRegression' ./internal/server
+go test -run 'TestFastPathChaosLatencySmoke' ./internal/server
+go test -run '^$' -bench 'BenchmarkFastPathPlan' -benchtime 1x ./internal/online
 
 echo "== chaos gates (seeded crash sweep replays clean; failover paths race-clean; wall-clock smoke)"
 go test -run 'TestExtChaosTraceDeterministicAndValid' ./internal/experiments

@@ -56,6 +56,7 @@ func main() {
 		kBound   = flag.Int("k", 3, "replica bound K per dataset")
 		expected = flag.Int("expected", 0, "expected total arrivals for the capacity price base (0: 1e6, or -count in selfdrive)")
 		maxUtil  = flag.Float64("max-util", 0, "reject admissions pushing a node above this utilization (0 = 1.0)")
+		fastPath = flag.Bool("fastpath", true, "price offers against precomputed feasibility tables (byte-identical decisions; false falls back to the full per-offer scan)")
 
 		epochMax  = flag.Int("epoch-max", 256, "micro-epoch size bound (queries)")
 		epochWait = flag.Duration("epoch-wait", 2*time.Millisecond, "micro-epoch wait bound")
@@ -68,7 +69,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write the admission trace (deterministic JSONL) to this file")
 		stats    = flag.Bool("stats", false, "print runtime counters to stderr on exit")
 
-		attribution = flag.Bool("attribution", true, "stamp every decision with a per-stage latency timeline (queue/coalesce/pricing/journal/fsync/ack)")
+		attribution = flag.Bool("attribution", true, "stamp every decision with a per-stage latency timeline (queue/coalesce/lookup/pricing/journal/fsync/ack)")
 		slo         = flag.Bool("slo", true, "track rolling 1m/5m/1h SLO attainment and burn rate, served on /slo")
 		sloP95      = flag.Duration("slo-p95", 5*time.Millisecond, "admission-latency objective: 95% of decisions within this")
 		sloP99      = flag.Duration("slo-p99", 25*time.Millisecond, "admission-latency objective: 99% of decisions within this")
@@ -91,7 +92,7 @@ func main() {
 	if err := run(runConfig{
 		httpAddr: *httpAddr,
 		instance: server.InstanceConfig{Seed: int64(*seed), Nodes: *nodes, Datasets: *datasets, Queries: *queries, F: *fBound, K: *kBound},
-		expected: *expected, maxUtil: *maxUtil,
+		expected: *expected, maxUtil: *maxUtil, fastPath: *fastPath,
 		epochMax: *epochMax, epochWait: *epochWait,
 		jdir: *jdir, resume: *resume, snapEvery: *snapEvery, noSync: *noSync,
 		traceOut: *traceOut, stats: *stats,
@@ -111,6 +112,7 @@ type runConfig struct {
 	instance    server.InstanceConfig
 	expected    int
 	maxUtil     float64
+	fastPath    bool
 	epochMax    int
 	epochWait   time.Duration
 	jdir        string
@@ -206,7 +208,7 @@ func run(cfg runConfig) error {
 		return err
 	}
 
-	opt := online.Options{MaxUtilization: cfg.maxUtil, SnapshotEvery: cfg.snapEvery}
+	opt := online.Options{MaxUtilization: cfg.maxUtil, SnapshotEvery: cfg.snapEvery, NoFastPath: !cfg.fastPath}
 	var jn *journal.Journal
 	var eng *online.Engine
 	if cfg.jdir != "" {

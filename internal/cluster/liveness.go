@@ -12,6 +12,12 @@ import (
 // definition of "this node cannot serve".
 type Liveness struct {
 	down map[graph.NodeID]bool
+	// gen counts state transitions. Consumers that mirror the down set into
+	// a denser structure (the online engine's admission fast path) compare
+	// generations as their epoch fence: an unchanged gen proves the mirror
+	// is current without re-reading the map; a changed gen forces a refresh
+	// before the mirror is consulted again.
+	gen uint64
 }
 
 // NewLiveness starts with every node alive.
@@ -26,6 +32,7 @@ func (l *Liveness) MarkDown(v graph.NodeID) bool {
 		return false
 	}
 	l.down[v] = true
+	l.gen++
 	return true
 }
 
@@ -35,8 +42,15 @@ func (l *Liveness) MarkUp(v graph.NodeID) bool {
 		return false
 	}
 	delete(l.down, v)
+	l.gen++
 	return true
 }
+
+// Gen returns the liveness generation: it changes exactly when the down set
+// changes, so an observer holding a mirror of the set knows the mirror is
+// fresh iff the generation it was built at still matches. The caller owns
+// synchronization, same as the rest of Liveness.
+func (l *Liveness) Gen() uint64 { return l.gen }
 
 // IsDown reports whether node v is crashed.
 func (l *Liveness) IsDown(v graph.NodeID) bool { return l.down[v] }

@@ -24,52 +24,95 @@ var (
 // that read all of them — shares a single shortest-path computation per
 // source instead of re-running Dijkstra per package.
 //
-// The cache is safe for concurrent use. The graph must not gain edges after
-// the cache is created; Graph has no edge-removal API, and the topology
-// generators finish mutation before the cache is built.
+// The cache is safe for concurrent use, and cold misses are single-flight:
+// concurrent callers racing on an uncomputed source (or the uncomputed
+// matrix) elect one leader to run the computation while the rest wait on its
+// result, so no Dijkstra or O(V²) matrix build ever runs twice. That also
+// makes the hit/miss stats exact under races — a miss is a call that
+// actually performed the work, a hit is a call served from the cache or
+// from a leader's in-flight computation (it paid a wait, not a
+// recomputation). TestDistanceCacheColdMatrixConcurrent asserts the exact
+// counts.
+//
+// The graph must not gain edges after the cache is created; Graph has no
+// edge-removal API, and the topology generators finish mutation before the
+// cache is built.
 type DistanceCache struct {
 	g *Graph
 
-	mu sync.RWMutex
+	mu sync.Mutex
 	// sp[u] is the memoized Dijkstra tree from source u (nil = not yet
 	// computed). Trees keep their parent arrays, so routing path
 	// reconstruction is also served by the cache.
 	sp []*ShortestPaths
-	// matrix is the lazily-built all-pairs view over the same trees.
-	matrix *DistanceMatrix
+	// spFlight[u], when non-nil, is the in-flight marker for source u: the
+	// leader computing the tree closes it after publishing, and waiters block
+	// on the close instead of duplicating the Dijkstra.
+	spFlight []chan struct{}
+	// matrix is the lazily-built all-pairs view over the same trees;
+	// matrixFlight single-flights its first materialization.
+	matrix       *DistanceMatrix
+	matrixFlight chan struct{}
 }
 
 // NewDistanceCache creates an empty cache over g.
 func NewDistanceCache(g *Graph) *DistanceCache {
-	return &DistanceCache{g: g, sp: make([]*ShortestPaths, len(g.adj))}
+	return &DistanceCache{
+		g:        g,
+		sp:       make([]*ShortestPaths, len(g.adj)),
+		spFlight: make([]chan struct{}, len(g.adj)),
+	}
 }
 
 // Graph returns the underlying graph.
 func (c *DistanceCache) Graph() *Graph { return c.g }
 
+// claimShortest is the singleflight gate for one source: it returns the
+// cached tree if present, else the flight to wait on, else (claimed=true)
+// registers the caller as the leader who must compute and publish.
+func (c *DistanceCache) claimShortest(src NodeID) (sp *ShortestPaths, wait chan struct{}, claimed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sp = c.sp[src]; sp != nil {
+		return sp, nil, false
+	}
+	if ch := c.spFlight[src]; ch != nil {
+		return nil, ch, false
+	}
+	c.spFlight[src] = make(chan struct{})
+	return nil, nil, true
+}
+
+// publishShortest installs the leader's tree and releases its waiters.
+func (c *DistanceCache) publishShortest(src NodeID, sp *ShortestPaths) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sp[src] = sp
+	close(c.spFlight[src])
+	c.spFlight[src] = nil
+}
+
 // Shortest returns the (memoized) Dijkstra tree rooted at src. Concurrent
-// callers racing on an uncomputed source may both run Dijkstra; the results
-// are identical (Dijkstra is deterministic) and one wins the write, so
-// callers always observe a correct tree.
+// callers racing on an uncomputed source elect one leader; the others wait
+// for its publication, so exactly one Dijkstra runs per source and exactly
+// one miss is counted per computed tree.
 func (c *DistanceCache) Shortest(src NodeID) *ShortestPaths {
 	c.g.check(src)
-	c.mu.RLock()
-	sp := c.sp[src]
-	c.mu.RUnlock()
-	if sp != nil {
-		distCacheHits.Inc()
+	for {
+		sp, wait, claimed := c.claimShortest(src)
+		if sp != nil {
+			distCacheHits.Inc()
+			return sp
+		}
+		if !claimed {
+			<-wait
+			continue // the leader has published; the next claim is a hit
+		}
+		distCacheMisses.Inc()
+		sp = c.g.Dijkstra(src)
+		c.publishShortest(src, sp)
 		return sp
 	}
-	distCacheMisses.Inc()
-	sp = c.g.Dijkstra(src)
-	c.mu.Lock()
-	if existing := c.sp[src]; existing != nil {
-		sp = existing // a concurrent computation won; keep one canonical tree
-	} else {
-		c.sp[src] = sp
-	}
-	c.mu.Unlock()
-	return sp
 }
 
 // Between returns the shortest-path distance from u to v, Infinity when
@@ -79,29 +122,52 @@ func (c *DistanceCache) Between(u, v NodeID) float64 {
 	return c.Shortest(u).Dist[v]
 }
 
+// claimMatrix is claimShortest for the all-pairs materialization.
+func (c *DistanceCache) claimMatrix() (m *DistanceMatrix, wait chan struct{}, claimed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.matrix; m != nil {
+		return m, nil, false
+	}
+	if c.matrixFlight != nil {
+		return nil, c.matrixFlight, false
+	}
+	c.matrixFlight = make(chan struct{})
+	return nil, nil, true
+}
+
+// publishMatrix installs the leader's matrix and releases its waiters.
+func (c *DistanceCache) publishMatrix(m *DistanceMatrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.matrix = m
+	close(c.matrixFlight)
+	c.matrixFlight = nil
+}
+
 // Matrix returns the all-pairs distance matrix, built once from the memoized
 // per-source trees (sources already computed — e.g. by routing — are not
-// recomputed) and cached for subsequent calls.
+// recomputed) and cached for subsequent calls. The first materialization is
+// single-flight: one leader copies the V trees while concurrent callers wait
+// for the canonical matrix, so a cold race costs one build, not W.
 func (c *DistanceCache) Matrix() *DistanceMatrix {
-	c.mu.RLock()
-	m := c.matrix
-	c.mu.RUnlock()
-	if m != nil {
-		distCacheHits.Inc()
+	for {
+		m, wait, claimed := c.claimMatrix()
+		if m != nil {
+			distCacheHits.Inc()
+			return m
+		}
+		if !claimed {
+			<-wait
+			continue
+		}
+		distCacheMatrix.Inc()
+		n := len(c.g.adj)
+		m = &DistanceMatrix{n: n, dist: make([]float64, n*n)}
+		for u := 0; u < n; u++ {
+			copy(m.dist[u*n:(u+1)*n], c.Shortest(NodeID(u)).Dist)
+		}
+		c.publishMatrix(m)
 		return m
 	}
-	distCacheMatrix.Inc()
-	n := len(c.g.adj)
-	m = &DistanceMatrix{n: n, dist: make([]float64, n*n)}
-	for u := 0; u < n; u++ {
-		copy(m.dist[u*n:(u+1)*n], c.Shortest(NodeID(u)).Dist)
-	}
-	c.mu.Lock()
-	if c.matrix != nil {
-		m = c.matrix
-	} else {
-		c.matrix = m
-	}
-	c.mu.Unlock()
-	return m
 }

@@ -102,9 +102,14 @@ func TestDistanceCacheConcurrent(t *testing.T) {
 // TestDistanceCacheColdMatrixConcurrent starts many goroutines on a cold
 // cache so they all race the first Matrix() materialization: every caller
 // must receive the one canonical *DistanceMatrix (not a private rebuild),
-// and its entries must match fresh Dijkstra runs. Run under -race (ci.sh
-// does).
+// its entries must match fresh Dijkstra runs, and — because cold misses are
+// single-flight — the stats must be exact: one matrix build, one Dijkstra
+// (and one miss) per source run by the build, and exactly one hit per
+// non-leader caller. Run under -race (ci.sh does).
 func TestDistanceCacheColdMatrixConcurrent(t *testing.T) {
+	instrument.Enable()
+	defer instrument.Disable()
+	defer instrument.Reset()
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 5; trial++ {
 		g := randomGraph(rng, 40, 0.1, trial%2 == 0)
@@ -114,6 +119,7 @@ func TestDistanceCacheColdMatrixConcurrent(t *testing.T) {
 		var start, done sync.WaitGroup
 		start.Add(1)
 		done.Add(workers)
+		instrument.Reset()
 		for w := 0; w < workers; w++ {
 			go func(w int) {
 				defer done.Done()
@@ -123,6 +129,23 @@ func TestDistanceCacheColdMatrixConcurrent(t *testing.T) {
 		}
 		start.Done()
 		done.Wait()
+		// Exact accounting under the race: the elected leader built the
+		// matrix once (V Dijkstras, V misses); every other worker is one hit,
+		// whether it waited on the flight or arrived after publication.
+		snap := instrument.Snapshot()
+		V := int64(g.NumNodes())
+		if got := snap["graph.distcache_matrix_builds"]; got != 1 {
+			t.Fatalf("trial %d: matrix builds = %d, want exactly 1 (duplicate cold build)", trial, got)
+		}
+		if got := snap["graph.dijkstra_calls"]; got != V {
+			t.Fatalf("trial %d: dijkstra calls = %d, want exactly %d", trial, got, V)
+		}
+		if got := snap["graph.distcache_misses"]; got != V {
+			t.Fatalf("trial %d: misses = %d, want exactly %d (one per source)", trial, got, V)
+		}
+		if got := snap["graph.distcache_hits"]; got != workers-1 {
+			t.Fatalf("trial %d: hits = %d, want exactly %d (one per non-leader)", trial, got, workers-1)
+		}
 		for w := 1; w < workers; w++ {
 			if mats[w] != mats[0] {
 				t.Fatalf("trial %d: worker %d got a non-canonical matrix", trial, w)
@@ -135,6 +158,50 @@ func TestDistanceCacheColdMatrixConcurrent(t *testing.T) {
 					t.Fatalf("trial %d: raced matrix %d→%d = %v, fresh = %v",
 						trial, u, v, got, fresh.Dist[v])
 				}
+			}
+		}
+	}
+}
+
+// TestDistanceCacheColdShortestConcurrent races many goroutines on ONE cold
+// source: singleflight must elect a single leader (one Dijkstra, one miss)
+// and serve everyone else the canonical tree as a hit.
+func TestDistanceCacheColdShortestConcurrent(t *testing.T) {
+	instrument.Enable()
+	defer instrument.Disable()
+	defer instrument.Reset()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(rng, 50, 0.1, trial%2 == 0)
+		c := NewDistanceCache(g)
+		const workers = 16
+		trees := make([]*ShortestPaths, workers)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(workers)
+		instrument.Reset()
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer done.Done()
+				start.Wait()
+				trees[w] = c.Shortest(3)
+			}(w)
+		}
+		start.Done()
+		done.Wait()
+		snap := instrument.Snapshot()
+		if got := snap["graph.dijkstra_calls"]; got != 1 {
+			t.Fatalf("trial %d: dijkstra calls = %d, want exactly 1 (duplicate cold Dijkstra)", trial, got)
+		}
+		if got := snap["graph.distcache_misses"]; got != 1 {
+			t.Fatalf("trial %d: misses = %d, want exactly 1", trial, got)
+		}
+		if got := snap["graph.distcache_hits"]; got != workers-1 {
+			t.Fatalf("trial %d: hits = %d, want exactly %d", trial, got, workers-1)
+		}
+		for w := 1; w < workers; w++ {
+			if trees[w] != trees[0] {
+				t.Fatalf("trial %d: worker %d got a non-canonical tree", trial, w)
 			}
 		}
 	}

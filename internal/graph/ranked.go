@@ -1,0 +1,40 @@
+// Delay-ranked target tables: the precomputation primitive behind the
+// admission fast path (internal/online). For a fixed source — a query's
+// home node — the set of candidate compute nodes ordered by ascending
+// shortest-path distance is static for the life of the immutable graph, so
+// it is materialized once from the DistanceCache and scanned as an array on
+// every decision instead of re-consulting Dijkstra state per offer.
+package graph
+
+import "sort"
+
+// RankedTarget is one target node with its shortest-path distance from the
+// ranking's source.
+type RankedTarget struct {
+	Node NodeID
+	// Dist is the shortest-path distance from the source; Infinity when the
+	// target is unreachable (the disconnected sentinel, never a finite
+	// stand-in).
+	Dist float64
+}
+
+// RankTargets returns the targets ordered by ascending distance from src
+// (ties broken by ascending node ID; unreachable targets sort last). The
+// single-source tree is computed through the cache, so repeated rankings
+// from one source — every query homed at the same base station — share one
+// Dijkstra.
+func (c *DistanceCache) RankTargets(src NodeID, targets []NodeID) []RankedTarget {
+	sp := c.Shortest(src)
+	out := make([]RankedTarget, len(targets))
+	for i, v := range targets {
+		c.g.check(v)
+		out[i] = RankedTarget{Node: v, Dist: sp.Dist[v]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

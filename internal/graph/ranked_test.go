@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRankTargets checks the ranked-table primitive on random topologies:
+// distances must match Between, order must be ascending (Dist, Node), and
+// unreachable targets must sort last with the Infinity sentinel intact.
+func TestRankTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(40)
+		g := randomGraph(rng, n, 0.12, trial%2 == 0)
+		c := NewDistanceCache(g)
+		src := NodeID(rng.Intn(n))
+		var targets []NodeID
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.7 {
+				targets = append(targets, NodeID(v))
+			}
+		}
+		ranked := c.RankTargets(src, targets)
+		if len(ranked) != len(targets) {
+			t.Fatalf("trial %d: ranked %d of %d targets", trial, len(ranked), len(targets))
+		}
+		seen := make(map[NodeID]bool, len(ranked))
+		for i, rt := range ranked {
+			if rt.Dist != c.Between(src, rt.Node) {
+				t.Fatalf("trial %d: ranked dist %d→%d = %v, Between says %v",
+					trial, src, rt.Node, rt.Dist, c.Between(src, rt.Node))
+			}
+			seen[rt.Node] = true
+			if i == 0 {
+				continue
+			}
+			prev := ranked[i-1]
+			if rt.Dist < prev.Dist {
+				t.Fatalf("trial %d: rank %d out of order (%v after %v)", trial, i, rt.Dist, prev.Dist)
+			}
+			if rt.Dist == prev.Dist && rt.Node < prev.Node {
+				t.Fatalf("trial %d: rank %d tie broken against node order", trial, i)
+			}
+			if math.IsInf(prev.Dist, 1) && !math.IsInf(rt.Dist, 1) {
+				t.Fatalf("trial %d: finite distance after the Infinity sentinel", trial)
+			}
+		}
+		for _, v := range targets {
+			if !seen[v] {
+				t.Fatalf("trial %d: target %d missing from ranking", trial, v)
+			}
+		}
+	}
+}

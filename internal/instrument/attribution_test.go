@@ -39,10 +39,10 @@ func TestStageTimelineTotal(t *testing.T) {
 	for i := Stage(0); i < NumStages; i++ {
 		tl[i] = int64(i) + 1
 	}
-	if got := tl.TotalNs(); got != 21 {
-		t.Fatalf("TotalNs = %d, want 21", got)
+	if got := tl.TotalNs(); got != 28 {
+		t.Fatalf("TotalNs = %d, want 28", got)
 	}
-	want := []string{"queue", "coalesce", "pricing", "journal", "fsync", "ack"}
+	want := []string{"queue", "coalesce", "lookup", "pricing", "journal", "fsync", "ack"}
 	for i, name := range StageNames {
 		if name != want[i] {
 			t.Fatalf("StageNames[%d] = %q, want %q", i, name, want[i])

@@ -16,16 +16,20 @@ import "sync/atomic"
 //	          plus the epoch's fill wait; one close stamp per batch)
 //	coalesce  epoch close → this decision's pricing begins (waiting behind
 //	          earlier decisions of the same batch)
+//	lookup    the fast path's epoch fence: the staleness check on the
+//	          precomputed feasibility tables plus any mirror refresh an
+//	          invalidation (crash, restore, liveness edit) forced — near
+//	          zero in steady state, so a visible lookup stage IS the
+//	          table-miss signal (see OPERATIONS.md triage)
 //	pricing   the engine's dual pricing, entry to journal hand-off
 //	journal   journal record marshal + frame + buffered write (no fsync)
 //	fsync     the per-append fsync making the decision durable
-//	ack       response construction (incl. rejection classification) and
-//	          delivery to the waiting client
+//	ack       response delivery to the waiting client
 //
-// The six stages partition the enqueue-to-ack interval: their sum is the
+// The seven stages partition the enqueue-to-ack interval: their sum is the
 // decision's end-to-end latency up to clock-read granularity, which is what
-// lets BENCH_pr8.json assert the stage sum lands within 10% of measured
-// end-to-end p95.
+// lets BENCH_pr9.json assert the stage sum tracks the measured end-to-end
+// p95.
 
 // Stage indexes a StageTimeline.
 type Stage int
@@ -34,6 +38,7 @@ type Stage int
 const (
 	StageQueue Stage = iota
 	StageCoalesce
+	StageLookup
 	StagePricing
 	StageJournal
 	StageFsync
@@ -44,7 +49,7 @@ const (
 // StageNames are the canonical stage labels, indexed by Stage. They appear
 // in metric names (server.stage_<name>_seconds), the /slo payload, the
 // flight recorder, and the load driver's percentile table.
-var StageNames = [NumStages]string{"queue", "coalesce", "pricing", "journal", "fsync", "ack"}
+var StageNames = [NumStages]string{"queue", "coalesce", "lookup", "pricing", "journal", "fsync", "ack"}
 
 // StageTimeline is one decision's critical-path breakdown: nanoseconds spent
 // in each stage. The zero value is an empty timeline.

@@ -32,12 +32,36 @@ func TestAckOrderCatchesReorderedAck(t *testing.T) {
 		t.Fatalf("pristine server.go already flagged: %v", findings)
 	}
 
-	// Reorder: in the first statement list holding both an Offer assignment
-	// and a later direct ack send, move the send in front of the Offer.
+	// Reorder: in the first statement list where some statement's subtree
+	// prices via Offer and a LATER statement's subtree performs an ack
+	// send (the two-phase processEpoch keeps them in sibling loops of one
+	// function body), move the ack-bearing statement in front of the
+	// Offer-bearing one.
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, "server.go", src, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	contains := func(st ast.Stmt, pred func(ast.Node) bool) bool {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if pred(n) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	hasOffer := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && calleeName(call) == "Offer"
+	}
+	hasSend := func(n ast.Node) bool {
+		_, ok := n.(*ast.SendStmt)
+		return ok
 	}
 	moved := false
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -50,17 +74,12 @@ func TestAckOrderCatchesReorderedAck(t *testing.T) {
 		}
 		offerIdx, sendIdx := -1, -1
 		for i, st := range block.List {
-			switch v := st.(type) {
-			case *ast.AssignStmt:
-				for _, rhs := range v.Rhs {
-					if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "Offer" && offerIdx < 0 {
-						offerIdx = i
-					}
-				}
-			case *ast.SendStmt:
-				if offerIdx >= 0 && sendIdx < 0 {
-					sendIdx = i
-				}
+			if offerIdx < 0 && contains(st, hasOffer) {
+				offerIdx = i
+				continue
+			}
+			if offerIdx >= 0 && sendIdx < 0 && contains(st, hasSend) {
+				sendIdx = i
 			}
 		}
 		if offerIdx < 0 || sendIdx < 0 {

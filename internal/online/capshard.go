@@ -1,0 +1,122 @@
+// Sharded capacity ledger: the online engine's instantaneous per-node
+// allocation, stored as dense atomic float bits instead of the original
+// map[NodeID]float64. Nodes are grouped into one shard per topology role
+// (data center, cloudlet), which keeps each tier's counters contiguous and
+// gives /state a lock-free per-tier utilization rollup without touching the
+// epoch lock.
+//
+// Concurrency contract: the epoch loop is the single writer (every mutation
+// happens under the serving layer's epoch lock); readers — the /state
+// handler's shard rollup and any observer of FastPathStats — load the atomic
+// bits without a lock. A reader can observe a mid-offer intermediate sum,
+// never a torn float.
+package online
+
+import (
+	"math"
+	"sync/atomic"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/topology"
+)
+
+// capShard is the counter block for one node role.
+type capShard struct {
+	kind   topology.NodeKind
+	nodes  []graph.NodeID
+	used   []atomic.Uint64 // float64 bits of instantaneous allocation
+	capGHz float64         // summed capacity of the shard's nodes
+}
+
+// capLedger maps every node to its shard slot. Non-compute nodes have no
+// slot: writes to them are dropped and reads return zero, matching the old
+// map's behaviour (the only such write is Crash zeroing an arbitrary node's
+// allocation, which for a switch was already a no-op in effect).
+type capLedger struct {
+	shardOf []int16 // by NodeID; -1 = non-compute
+	idxIn   []int32 // by NodeID; slot within the shard
+	shards  []capShard
+}
+
+// newCapLedger builds the ledger over a topology's compute nodes, one shard
+// per node kind in first-appearance order (compute nodes ascend, so the
+// shard order is deterministic).
+func newCapLedger(t *topology.Topology) *capLedger {
+	n := t.Graph.NumNodes()
+	l := &capLedger{
+		shardOf: make([]int16, n),
+		idxIn:   make([]int32, n),
+	}
+	for i := range l.shardOf {
+		l.shardOf[i] = -1
+	}
+	byKind := make(map[topology.NodeKind]int)
+	for _, v := range t.ComputeNodes {
+		node := t.Node(v)
+		si, ok := byKind[node.Kind]
+		if !ok {
+			si = len(l.shards)
+			byKind[node.Kind] = si
+			l.shards = append(l.shards, capShard{kind: node.Kind})
+		}
+		sh := &l.shards[si]
+		l.shardOf[v] = int16(si)
+		l.idxIn[v] = int32(len(sh.nodes))
+		sh.nodes = append(sh.nodes, v)
+		sh.capGHz += node.CapacityGHz
+	}
+	for si := range l.shards {
+		l.shards[si].used = make([]atomic.Uint64, len(l.shards[si].nodes))
+	}
+	return l
+}
+
+// get returns node v's instantaneous allocation (zero for non-compute).
+func (l *capLedger) get(v graph.NodeID) float64 {
+	si := l.shardOf[v]
+	if si < 0 {
+		return 0
+	}
+	return math.Float64frombits(l.shards[si].used[l.idxIn[v]].Load())
+}
+
+// set stores node v's allocation (dropped for non-compute).
+func (l *capLedger) set(v graph.NodeID, ghz float64) {
+	si := l.shardOf[v]
+	if si < 0 {
+		return
+	}
+	l.shards[si].used[l.idxIn[v]].Store(math.Float64bits(ghz))
+}
+
+// reset zeroes every counter (snapshot load).
+func (l *capLedger) reset() {
+	for si := range l.shards {
+		sh := &l.shards[si]
+		for i := range sh.used {
+			sh.used[i].Store(0)
+		}
+	}
+}
+
+// ShardUse is one role tier's lock-free utilization rollup.
+type ShardUse struct {
+	Kind    string  `json:"kind"`
+	Nodes   int     `json:"nodes"`
+	UsedGHz float64 `json:"used_ghz"`
+	CapGHz  float64 `json:"cap_ghz"`
+}
+
+// shardUse sums each shard with atomic loads only.
+func (l *capLedger) shardUse() []ShardUse {
+	out := make([]ShardUse, len(l.shards))
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sum := 0.0
+		for i := range sh.used {
+			sum += math.Float64frombits(sh.used[i].Load())
+		}
+		out[si] = ShardUse{Kind: sh.kind.String(), Nodes: len(sh.nodes), UsedGHz: sum, CapGHz: sh.capGHz}
+	}
+	return out
+}

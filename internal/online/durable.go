@@ -120,12 +120,13 @@ func (e *Engine) StateDump() *EngineState {
 		Rejected:       e.res.Rejected,
 		Evicted:        e.res.Evicted,
 	}
-	for v, amt := range e.used {
-		if amt != 0 {
+	// The ledger is dense; ascending compute-node order reproduces the old
+	// map dump's sorted output exactly (non-compute nodes are never held).
+	for _, v := range e.p.Cloud.ComputeNodes() {
+		if amt := e.usedGHz(v); amt != 0 {
 			st.Used = append(st.Used, NodeUse{Node: v, GHz: amt})
 		}
 	}
-	sort.Slice(st.Used, func(i, j int) bool { return st.Used[i].Node < st.Used[j].Node })
 	for _, r := range e.releases {
 		rs := ReleaseState{At: r.at, Node: r.node, GHz: r.amt, Query: r.query, Dataset: r.dataset}
 		if math.IsInf(r.at, 1) {
@@ -180,9 +181,9 @@ func (e *Engine) loadState(st *EngineState) {
 		Evicted:        st.Evicted,
 		Decisions:      append([]Decision(nil), st.Decisions...),
 	}
-	e.used = make(map[graph.NodeID]float64, len(st.Used))
+	e.resetUsed()
 	for _, u := range st.Used {
-		e.used[u.Node] = u.GHz
+		e.setUsed(u.Node, u.GHz)
 	}
 	e.releases = e.releases[:0]
 	for _, r := range st.Releases {
@@ -201,6 +202,11 @@ func (e *Engine) loadState(st *EngineState) {
 	e.sol.Admitted = append([]workload.QueryID(nil), st.AdmittedQueries...)
 	for _, v := range st.Down {
 		e.Liveness().MarkDown(v)
+	}
+	// A bulk load rewrote liveness and load wholesale; force the fast
+	// path's mirror to rebuild even if generations happen to line up.
+	if e.fast != nil {
+		e.fast.invalidate()
 	}
 }
 

@@ -54,8 +54,15 @@ type CrashReport struct {
 
 // AttachLiveness shares a liveness tracker with the engine (drivers that
 // coordinate several components pass one tracker around). Without it the
-// engine lazily creates its own on the first crash.
-func (e *Engine) AttachLiveness(l *cluster.Liveness) { e.live = l }
+// engine lazily creates its own on the first crash. Swapping trackers
+// invalidates the fast path's liveness mirror unconditionally: the new
+// tracker's generation could coincide with the old one's.
+func (e *Engine) AttachLiveness(l *cluster.Liveness) {
+	e.live = l
+	if e.fast != nil {
+		e.fast.invalidate()
+	}
+}
 
 // AttachConsistency wires a consistency manager so failover repair accounts
 // full re-replication traffic for every replica it opens.
@@ -131,7 +138,7 @@ func (e *Engine) Crash(atSec float64, v graph.NodeID) (CrashReport, error) {
 	}
 	e.releases = kept
 	e.reheapReleases()
-	e.used[v] = 0
+	e.setUsed(v, 0)
 
 	// Every assignment served by v is stranded — including those of queries
 	// whose hold already expired: the solution must stay replayable against
@@ -218,8 +225,7 @@ func (e *Engine) repairQuery(q workload.QueryID, datasets []workload.DatasetID,
 		e.sol.Reassign(q, mv.dataset, mv.node)
 		if mv.active {
 			need := e.p.ComputeNeed(q, mv.dataset)
-			e.used[mv.node] += need
-			if u := e.used[mv.node] / e.p.Cloud.Capacity(mv.node); u > e.peak {
+			if u := e.addUsed(mv.node, need) / e.p.Cloud.Capacity(mv.node); u > e.peak {
 				e.peak = u
 			}
 			e.pushRelease(release{at: mv.expiry, node: mv.node, amt: need, query: q, dataset: mv.dataset})
@@ -256,7 +262,7 @@ func (e *Engine) pickRepairNode(q workload.QueryID, n workload.DatasetID, needsC
 		}
 		if needsCapacity {
 			capGHz := e.p.Cloud.Capacity(w)
-			if e.used[w]+tentative[w]+need > capGHz*maxU+1e-9 {
+			if e.usedGHz(w)+tentative[w]+need > capGHz*maxU+1e-9 {
 				continue
 			}
 		}
@@ -282,9 +288,8 @@ func (e *Engine) evict(q workload.QueryID, rep *CrashReport) {
 	kept := e.releases[:0]
 	for _, r := range e.releases {
 		if r.query == q {
-			e.used[r.node] -= r.amt
-			if e.used[r.node] < 0 {
-				e.used[r.node] = 0
+			if e.addUsed(r.node, -r.amt) < 0 {
+				e.setUsed(r.node, 0)
 			}
 			continue
 		}

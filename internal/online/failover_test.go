@@ -54,7 +54,7 @@ func TestCrashReleasesNodeState(t *testing.T) {
 	if v == -1 {
 		t.Fatal("no assignments")
 	}
-	usedBefore := e.used[v]
+	usedBefore := e.usedGHz(v)
 	if usedBefore <= 0 {
 		t.Fatalf("busiest node %d has no load", v)
 	}
@@ -65,8 +65,8 @@ func TestCrashReleasesNodeState(t *testing.T) {
 	if !e.Liveness().IsDown(v) {
 		t.Fatal("node not marked down")
 	}
-	if e.used[v] != 0 {
-		t.Fatalf("crashed node still has %v GHz allocated", e.used[v])
+	if e.usedGHz(v) != 0 {
+		t.Fatalf("crashed node still has %v GHz allocated", e.usedGHz(v))
 	}
 	if rep.ReleasedGHz != usedBefore {
 		t.Fatalf("released %v GHz, node held %v", rep.ReleasedGHz, usedBefore)
@@ -257,8 +257,8 @@ func TestCrashActiveHoldsMoveCapacity(t *testing.T) {
 	}
 	v := busiestNode(e)
 	totalBefore := 0.0
-	for _, u := range e.used {
-		totalBefore += u
+	for _, u := range e.p.Cloud.ComputeNodes() {
+		totalBefore += e.usedGHz(u)
 	}
 	rep, err := e.Crash(float64(len(w.Queries)), v)
 	if err != nil {
@@ -268,8 +268,8 @@ func TestCrashActiveHoldsMoveCapacity(t *testing.T) {
 		t.Fatal("no live allocation on the busiest node")
 	}
 	totalAfter := 0.0
-	for _, u := range e.used {
-		totalAfter += u
+	for _, u := range e.p.Cloud.ComputeNodes() {
+		totalAfter += e.usedGHz(u)
 	}
 	// Everything repaired moved its GHz to survivors; evicted queries gave
 	// theirs back entirely.
@@ -286,8 +286,8 @@ func TestCrashActiveHoldsMoveCapacity(t *testing.T) {
 	}
 	// Capacity cap still respected everywhere.
 	for _, u := range e.p.Cloud.ComputeNodes() {
-		if e.used[u] > e.p.Cloud.Capacity(u)+1e-9 {
-			t.Fatalf("node %d over capacity after repair: %v > %v", u, e.used[u], e.p.Cloud.Capacity(u))
+		if e.usedGHz(u) > e.p.Cloud.Capacity(u)+1e-9 {
+			t.Fatalf("node %d over capacity after repair: %v > %v", u, e.usedGHz(u), e.p.Cloud.Capacity(u))
 		}
 	}
 }

@@ -1,0 +1,459 @@
+// The admission fast path: per-(query, demand) feasibility tables
+// precomputed at engine construction so Offer prices an arrival with array
+// scans — no Dijkstra, no map allocation, no per-candidate delay model
+// evaluation. The tables exist because everything the pricing loop consults
+// except load and liveness is static for the life of the engine: the
+// topology is immutable, EvalDelay is a pure function of (query, dataset,
+// node), the deadline and the replica-open price seeds are fixed per demand,
+// and the preferred-site set is frozen after prePlace.
+//
+// What stays dynamic is mirrored, not recomputed:
+//
+//   - instantaneous load lives in the sharded atomic ledger (capshard.go)
+//     and is read per candidate;
+//   - node liveness is mirrored into a dense []bool, fenced by
+//     cluster.Liveness.Gen(): every Offer/classification compares the
+//     tracked generation before consulting the mirror and refreshes it when
+//     a crash, restore, or external liveness edit moved it. The fence is
+//     what makes "a decision never admits through a stale table" a checked
+//     property (TestFastPathStaleTableFuzz) rather than a hope;
+//   - θ(v) is cached per node and invalidated by the engine's centralized
+//     used-mutation helpers, so repeated candidates of one offer pay one
+//     math.Pow each at most.
+//
+// Byte-identity contract: with the fast path on or off, every decision, its
+// journal record, and its trace event are byte-identical. The pricing
+// expressions below therefore reproduce pickNode's float arithmetic with the
+// same associativity (precomputed factors are the exact subexpressions the
+// slow path evaluates, never algebraic rearrangements), and ties resolve to
+// the lowest node ID exactly as the slow path's ascending scan does.
+package online
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/instrument"
+	"edgerep/internal/placement"
+	"edgerep/internal/workload"
+)
+
+var (
+	statFastBuilds    = instrument.NewCounter("online.fastpath_table_builds")
+	statFastOffers    = instrument.NewCounter("online.fastpath_offers")
+	statFastRefreshes = instrument.NewCounter("online.fastpath_refreshes")
+)
+
+// fpCand is one pricing candidate: a node whose evaluation delay meets the
+// demand's deadline under the strict admission predicate (delay ≤ deadline,
+// no epsilon — exactly pickNode's gate).
+type fpCand struct {
+	node  graph.NodeID
+	delay float64
+	// delayCost is the precomputed deadline-slack price term
+	// w·size·(delay/deadline), evaluated with the slow path's exact
+	// expression shape.
+	delayCost float64
+	// preferred marks forecast-derived proactive sites (zero µ price).
+	preferred bool
+}
+
+// fpClassCand is one classification candidate: a node passing the
+// ε-tolerant MeetsDeadline predicate (classification and admission use
+// different feasibility predicates; the tables keep both sets).
+type fpClassCand struct {
+	node  graph.NodeID
+	delay float64
+}
+
+// fpDemand is the precomputed table for one (query, demand) pair.
+type fpDemand struct {
+	dataset workload.DatasetID
+	// need is ComputeNeed(q, dataset); size25 seeds the replica-open price
+	// (0.25·size, the exact subexpression pickNode evaluates first).
+	need   float64
+	size25 float64
+	// cands is the admission candidate set, sorted by ascending delay
+	// (ties by node ID) — the delay-sorted table the scan walks.
+	cands []fpCand
+	// class is the classification candidate set in ascending node order
+	// (ClassifyRejection scans nodes ascending; order is part of its
+	// determinism contract).
+	class []fpClassCand
+	// bestFinite names the finite-delay node closest to the deadline, the
+	// locus a deadline rejection reports; -1 when every delay is infinite.
+	bestFinite      graph.NodeID
+	bestFiniteDelay float64
+}
+
+// fpScratch is the per-offer planning state, reused across offers so the
+// fast path allocates nothing (TestFastPathZeroAlloc asserts this). The
+// slices replace the slow path's tentative/tentOpen maps; bundles are small
+// (a handful of demands), so linear scans beat hashing.
+type fpScratch struct {
+	tentNode []graph.NodeID
+	tentAmt  []float64
+	openDs   []workload.DatasetID
+	openNode []graph.NodeID
+	assign   []placement.Assignment
+}
+
+func (s *fpScratch) reset() {
+	s.tentNode = s.tentNode[:0]
+	s.tentAmt = s.tentAmt[:0]
+	s.openDs = s.openDs[:0]
+	s.openNode = s.openNode[:0]
+	s.assign = s.assign[:0]
+}
+
+// tentFor returns the capacity already tentatively claimed on v by earlier
+// demands of the offer being planned (zero when none, like a map miss).
+func (s *fpScratch) tentFor(v graph.NodeID) float64 {
+	for i, n := range s.tentNode {
+		if n == v {
+			return s.tentAmt[i]
+		}
+	}
+	return 0
+}
+
+func (s *fpScratch) addTent(v graph.NodeID, need float64) {
+	for i, n := range s.tentNode {
+		if n == v {
+			s.tentAmt[i] += need
+			return
+		}
+	}
+	s.tentNode = append(s.tentNode, v)
+	s.tentAmt = append(s.tentAmt, need)
+}
+
+// openCountFor counts distinct replica opens planned for ds so far.
+func (s *fpScratch) openCountFor(ds workload.DatasetID) int {
+	c := 0
+	for _, d := range s.openDs {
+		if d == ds {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *fpScratch) openHas(ds workload.DatasetID, v graph.NodeID) bool {
+	for i, d := range s.openDs {
+		if d == ds && s.openNode[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// fastPath holds the engine's precomputed tables plus the fenced dynamic
+// mirrors. The epoch loop is the single writer; the stats fields observers
+// read lock-free are atomics.
+type fastPath struct {
+	perQuery [][]fpDemand
+
+	// capEps[v] = Capacity(v)·maxU + 1e-9, the admission headroom bound;
+	// capMaxU[v] = Capacity(v)·maxU, the classification Avail minuend.
+	// Both are the exact subexpressions the slow path computes inline.
+	capEps  []float64
+	capMaxU []float64
+
+	// down mirrors the liveness tracker's crashed set densely; liveGen is
+	// the generation the mirror was built at (the epoch fence), liveDirty
+	// forces a rebuild regardless of generation (a tracker was swapped or
+	// state was bulk-loaded).
+	down      []bool
+	liveGen   atomic.Uint64
+	liveDirty bool
+
+	scr fpScratch
+
+	tables     int
+	candidates int
+	offers     atomic.Uint64
+	refreshes  atomic.Uint64
+}
+
+// FastPathStats is the fast path's observability rollup, served lock-free
+// on /state (table sizes are immutable, counters are atomics, and the shard
+// sums read the capacity ledger's atomic bits).
+type FastPathStats struct {
+	Enabled    bool       `json:"enabled"`
+	Tables     int        `json:"tables"`
+	Candidates int        `json:"candidates"`
+	LiveGen    uint64     `json:"live_gen"`
+	Refreshes  uint64     `json:"refreshes"`
+	Offers     uint64     `json:"offers"`
+	Shards     []ShardUse `json:"shards,omitempty"`
+}
+
+// FastPathStats reports the fast path's table and fence counters (Enabled
+// false with zeroed table fields when the engine runs the slow path). Safe
+// to call concurrently with the epoch loop.
+func (e *Engine) FastPathStats() FastPathStats {
+	st := FastPathStats{Shards: e.used.shardUse()}
+	if e.fast == nil {
+		return st
+	}
+	st.Enabled = true
+	st.Tables = e.fast.tables
+	st.Candidates = e.fast.candidates
+	st.LiveGen = e.fast.liveGen.Load()
+	st.Refreshes = e.fast.refreshes.Load()
+	st.Offers = e.fast.offers.Load()
+	return st
+}
+
+// newFastPath materializes the tables. Candidate enumeration is seeded from
+// the home node's transfer-distance ranking (graph.RankTargets through the
+// topology's shared DistanceCache, one Dijkstra per distinct home), then
+// refined to total-evaluation-delay order, which the per-offer scan walks.
+func newFastPath(e *Engine) *fastPath {
+	t := e.p.Cloud.Topology()
+	n := t.Graph.NumNodes()
+	f := &fastPath{
+		perQuery: make([][]fpDemand, len(e.p.Queries)),
+		capEps:   make([]float64, n),
+		capMaxU:  make([]float64, n),
+		down:     make([]bool, n),
+	}
+	maxU := e.opt.maxUtil()
+	w := e.opt.delayWeight()
+	compute := e.p.Cloud.ComputeNodes()
+	for _, v := range compute {
+		capGHz := e.p.Cloud.Capacity(v)
+		f.capMaxU[v] = capGHz * maxU
+		f.capEps[v] = capGHz*maxU + 1e-9
+	}
+	cache := t.DistanceCache()
+	maxDemands := 0
+	for qi := range e.p.Queries {
+		q := &e.p.Queries[qi]
+		qid := workload.QueryID(qi)
+		if len(q.Demands) > maxDemands {
+			maxDemands = len(q.Demands)
+		}
+		ranked := cache.RankTargets(q.Home, compute)
+		demands := make([]fpDemand, len(q.Demands))
+		for di, dm := range q.Demands {
+			d := fpDemand{
+				dataset:         dm.Dataset,
+				need:            e.p.ComputeNeed(qid, dm.Dataset),
+				size25:          0.25 * e.p.Datasets[dm.Dataset].SizeGB,
+				bestFinite:      -1,
+				bestFiniteDelay: math.Inf(1),
+			}
+			size := e.p.Datasets[dm.Dataset].SizeGB
+			deadline := q.DeadlineSec
+			for _, rt := range ranked {
+				v := rt.Node
+				delay, ok := e.p.EvalDelay(qid, dm.Dataset, v)
+				if !ok || delay > deadline {
+					continue
+				}
+				d.cands = append(d.cands, fpCand{
+					node:      v,
+					delay:     delay,
+					delayCost: w * size * (delay / deadline),
+					preferred: e.preferredSites != nil && e.preferredSites[dm.Dataset][v],
+				})
+			}
+			sort.Slice(d.cands, func(i, j int) bool {
+				if d.cands[i].delay != d.cands[j].delay {
+					return d.cands[i].delay < d.cands[j].delay
+				}
+				return d.cands[i].node < d.cands[j].node
+			})
+			for _, v := range compute {
+				delay, ok := e.p.EvalDelay(qid, dm.Dataset, v)
+				if !ok {
+					continue
+				}
+				if !math.IsInf(delay, 1) && delay < d.bestFiniteDelay {
+					d.bestFinite, d.bestFiniteDelay = v, delay
+				}
+				if e.p.MeetsDeadline(qid, dm.Dataset, v) {
+					d.class = append(d.class, fpClassCand{node: v, delay: delay})
+				}
+			}
+			demands[di] = d
+			f.tables++
+			f.candidates += len(d.cands)
+		}
+		f.perQuery[qi] = demands
+	}
+	f.scr = fpScratch{
+		tentNode: make([]graph.NodeID, 0, maxDemands),
+		tentAmt:  make([]float64, 0, maxDemands),
+		openDs:   make([]workload.DatasetID, 0, maxDemands),
+		openNode: make([]graph.NodeID, 0, maxDemands),
+		assign:   make([]placement.Assignment, 0, maxDemands),
+	}
+	statFastBuilds.Inc()
+	return f
+}
+
+// refresh is the epoch fence: a no-op while the liveness generation the
+// mirror was built at still matches (one atomic load and one comparison),
+// a full dense rebuild when a crash, restore, external liveness edit, or
+// bulk state load moved it. Called at the top of every fast planning and
+// classification pass, so no decision reads the mirror across a stale
+// generation.
+func (f *fastPath) refresh(e *Engine) {
+	if e.live == nil {
+		return
+	}
+	g := e.live.Gen()
+	if !f.liveDirty && g == f.liveGen.Load() {
+		return
+	}
+	for i := range f.down {
+		f.down[i] = false
+	}
+	for _, v := range e.live.DownNodes() {
+		f.down[v] = true
+	}
+	f.liveGen.Store(g)
+	f.liveDirty = false
+	f.refreshes.Add(1)
+	statFastRefreshes.Inc()
+}
+
+// invalidate forces the next refresh to rebuild the mirror even on a
+// matching generation — AttachLiveness can swap in a different tracker that
+// happens to share a generation number, and loadState bulk-replays downs.
+func (f *fastPath) invalidate() { f.liveDirty = true }
+
+// planFast plans one arrival against the precomputed tables; it is the fast
+// twin of Offer's slow planning loop and returns bit-identical decisions.
+// Rejection planning allocates nothing; an admission allocates only the
+// returned assignment slice the decision keeps.
+func (e *Engine) planFast(qid workload.QueryID) (bool, []placement.Assignment) {
+	f := e.fast
+	f.refresh(e)
+	f.offers.Add(1)
+	statFastOffers.Inc()
+	s := &f.scr
+	s.reset()
+	demands := f.perQuery[qid]
+	for di := range demands {
+		d := &demands[di]
+		v, ok := e.pickFast(d, s)
+		if !ok {
+			return false, nil
+		}
+		s.addTent(v, d.need)
+		if !e.sol.HasReplica(d.dataset, v) && !s.openHas(d.dataset, v) {
+			s.openDs = append(s.openDs, d.dataset)
+			s.openNode = append(s.openNode, v)
+		}
+		s.assign = append(s.assign, placement.Assignment{Query: qid, Dataset: d.dataset, Node: v})
+	}
+	if len(s.assign) == 0 {
+		return true, nil
+	}
+	as := make([]placement.Assignment, len(s.assign))
+	copy(as, s.assign)
+	return true, as
+}
+
+// pickFast is pickNode over the demand's precomputed candidate table. Every
+// float expression mirrors the slow path's associativity exactly, and the
+// explicit lowest-node tie-break reproduces the ascending scan's strict-<
+// argmin, so the two paths select identical nodes at identical costs.
+func (e *Engine) pickFast(d *fpDemand, s *fpScratch) (graph.NodeID, bool) {
+	f := e.fast
+	openCount := e.sol.ReplicaCount(d.dataset) + s.openCountFor(d.dataset)
+	kBound := e.p.MaxReplicas
+	var best graph.NodeID = -1
+	bestCost := math.Inf(1)
+	for i := range d.cands {
+		c := &d.cands[i]
+		v := c.node
+		if f.down[v] {
+			continue
+		}
+		if e.usedGHz(v)+s.tentFor(v)+d.need > f.capEps[v] {
+			continue
+		}
+		rep := 0.0
+		if !e.sol.HasReplica(d.dataset, v) && !s.openHas(d.dataset, v) {
+			if openCount >= kBound {
+				continue
+			}
+			if !c.preferred {
+				rep = d.size25 * float64(openCount+1) / float64(kBound)
+			}
+		}
+		cost := d.need*e.theta(v) + c.delayCost + rep
+		if cost < bestCost || (cost == bestCost && v < best) {
+			best, bestCost = v, cost
+		}
+	}
+	return best, best != -1
+}
+
+// classifyFast is ClassifyRejection over the precomputed classification
+// tables: same reason, same locus, same tie-breaks as the generic scan in
+// internal/placement, with the static portions (the ε-tolerant feasible
+// set in ascending node order, the closest finite-delay node) read from the
+// table and only load and liveness consulted live.
+func (e *Engine) classifyFast(q workload.QueryID) (instrument.Reason, workload.DatasetID, graph.NodeID) {
+	f := e.fast
+	f.refresh(e)
+	kRepl := e.p.MaxReplicas
+	for di := range f.perQuery[q] {
+		d := &f.perQuery[q][di]
+		crashNode := graph.NodeID(-1)
+		capNode := graph.NodeID(-1)
+		capBest := math.Inf(-1)
+		kNode := graph.NodeID(-1)
+		kBestDelay := math.Inf(1)
+		feasible, servable, capacityOK := false, false, false
+		for i := range d.class {
+			cc := &d.class[i]
+			v := cc.node
+			if f.down[v] {
+				if crashNode == -1 {
+					crashNode = v
+				}
+				continue
+			}
+			feasible = true
+			avail := f.capMaxU[v] - e.usedGHz(v)
+			if avail > capBest {
+				capNode, capBest = v, avail
+			}
+			if d.need > avail+1e-9 {
+				continue
+			}
+			capacityOK = true
+			if cc.delay < kBestDelay {
+				kNode, kBestDelay = v, cc.delay
+			}
+			if e.sol.HasReplica(d.dataset, v) || e.sol.ReplicaCount(d.dataset) < kRepl {
+				servable = true
+				break
+			}
+		}
+		switch {
+		case servable:
+			continue
+		case !feasible && crashNode != -1:
+			return instrument.ReasonNodeCrashed, d.dataset, crashNode
+		case !feasible && d.bestFinite == -1:
+			return instrument.ReasonDisconnected, d.dataset, -1
+		case !feasible:
+			return instrument.ReasonDeadline, d.dataset, d.bestFinite
+		case !capacityOK:
+			return instrument.ReasonCapacity, d.dataset, capNode
+		default:
+			return instrument.ReasonKBound, d.dataset, kNode
+		}
+	}
+	return instrument.ReasonBundleInfeasible, -1, -1
+}

@@ -1,0 +1,223 @@
+package online
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"edgerep/internal/graph"
+	"edgerep/internal/workload"
+)
+
+// TestFastPathEquivalence is the oracle check behind the byte-identity
+// contract: the same seeded arrival stream, with crash/restore churn
+// interleaved, offered to a fast-path engine and a NoFastPath engine must
+// produce identical decisions, identical rejection classifications at the
+// moment of each rejection, identical crash reports, and identical final
+// state dumps. Any divergence here means the precomputed tables drifted from
+// the pricing math they mirror.
+func TestFastPathEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 7, 21, 42} {
+		p, w := problem(t, seed, 80)
+		fast := NewEngine(p, len(w.Queries), Options{})
+		slow := NewEngine(p, len(w.Queries), Options{NoFastPath: true})
+		if fast.fast == nil {
+			t.Fatal("default options did not build the fast path")
+		}
+		if slow.fast != nil {
+			t.Fatal("NoFastPath engine still built tables")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		compute := p.Cloud.ComputeNodes()
+		var down []graph.NodeID
+		at := 0.0
+		for i := range w.Queries {
+			at += rng.ExpFloat64()
+			hold := rng.ExpFloat64() * 50
+			if i%9 == 4 {
+				// Liveness churn: alternate crashing a random node with
+				// restoring the oldest crashed one, mirrored on both engines.
+				if len(down) > 0 && rng.Intn(2) == 0 {
+					v := down[0]
+					down = down[1:]
+					if err := fast.Restore(v); err != nil {
+						t.Fatal(err)
+					}
+					if err := slow.Restore(v); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					v := compute[rng.Intn(len(compute))]
+					wasDown := fast.Liveness().IsDown(v)
+					repF, errF := fast.Crash(at, v)
+					repS, errS := slow.Crash(at, v)
+					if errF != nil || errS != nil {
+						t.Fatalf("seed %d crash(%d): fast err %v, slow err %v", seed, v, errF, errS)
+					}
+					if !reflect.DeepEqual(repF, repS) {
+						t.Fatalf("seed %d crash(%d) reports diverge:\nfast %+v\nslow %+v", seed, v, repF, repS)
+					}
+					if !wasDown {
+						down = append(down, v)
+					}
+				}
+			}
+			q := workload.QueryID(i)
+			arr := Arrival{Query: q, AtSec: at, HoldSec: hold}
+			decF, errF := fast.Offer(arr)
+			decS, errS := slow.Offer(arr)
+			if errF != nil || errS != nil {
+				t.Fatalf("seed %d offer %d: fast err %v, slow err %v", seed, i, errF, errS)
+			}
+			if !reflect.DeepEqual(decF, decS) {
+				t.Fatalf("seed %d offer %d decisions diverge:\nfast %+v\nslow %+v", seed, i, decF, decS)
+			}
+			if !decF.Admitted {
+				rF, dsF, nF := fast.ClassifyRejection(q)
+				rS, dsS, nS := slow.ClassifyRejection(q)
+				if rF != rS || dsF != dsS || nF != nS {
+					t.Fatalf("seed %d offer %d classifications diverge: fast (%v, %d, %d) slow (%v, %d, %d)",
+						seed, i, rF, dsF, nF, rS, dsS, nS)
+				}
+			}
+		}
+		if !reflect.DeepEqual(fast.Result(), slow.Result()) {
+			t.Fatalf("seed %d results diverge:\nfast %+v\nslow %+v", seed, fast.Result(), slow.Result())
+		}
+		if !reflect.DeepEqual(fast.StateDump(), slow.StateDump()) {
+			t.Fatalf("seed %d state dumps diverge", seed)
+		}
+	}
+}
+
+// TestFastPathZeroAlloc pins the fast path's allocation contract: pricing a
+// rejected offer and classifying the rejection allocate nothing, and an
+// admitted offer allocates exactly the assignment slice the decision keeps.
+// ci.sh runs this as a hard gate — a regression here is the GC pressure the
+// precomputed tables exist to eliminate.
+func TestFastPathZeroAlloc(t *testing.T) {
+	p, w := problem(t, 5, 120)
+	e := NewEngine(p, len(w.Queries), Options{})
+
+	// Admitted path, measured before any state accumulates: planFast does
+	// not commit, so repeated calls are idempotent.
+	var admitQ workload.QueryID = -1
+	for i := range w.Queries {
+		if ok, as := e.planFast(workload.QueryID(i)); ok && len(as) > 0 {
+			admitQ = workload.QueryID(i)
+			break
+		}
+	}
+	if admitQ == -1 {
+		t.Fatal("no admittable query on a fresh engine; scenario too weak")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.planFast(admitQ)
+	}); allocs != 1 {
+		t.Errorf("admitted planFast allocates %.1f objects/op, want exactly 1 (the returned assignments)", allocs)
+	}
+
+	// Saturate with hold-forever offers until rejections exist.
+	var rejQ workload.QueryID = -1
+	for i := range w.Queries {
+		dec, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Admitted {
+			rejQ = workload.QueryID(i)
+		}
+	}
+	if rejQ == -1 {
+		t.Fatal("hold-forever stream saturated nothing; scenario too weak")
+	}
+	if ok, _ := e.planFast(rejQ); ok {
+		t.Fatalf("query %d re-plans as admittable on the saturated engine", rejQ)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.planFast(rejQ)
+		e.classifyFast(rejQ)
+	}); allocs != 0 {
+		t.Errorf("rejection fast path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkFastPathPlan prices one saturated-engine offer per op, table scan
+// against the full per-offer search it replaced. The fast side is the
+// ci.sh-gated zero-alloc path; the slow side is the oracle the equivalence
+// tests compare against.
+func BenchmarkFastPathPlan(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noFast bool
+	}{{"fast", false}, {"slow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, w := problem(b, 5, 120)
+			e := NewEngine(p, len(w.Queries), Options{NoFastPath: mode.noFast})
+			var rejQ workload.QueryID = -1
+			for i := range w.Queries {
+				dec, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !dec.Admitted {
+					rejQ = workload.QueryID(i)
+				}
+			}
+			if rejQ == -1 {
+				b.Fatal("hold-forever stream saturated nothing")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.noFast {
+					e.planSlow(rejQ)
+				} else {
+					e.planFast(rejQ)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathStats covers the /state payload source: a fast engine reports
+// its table sizes and moving counters, a NoFastPath engine reports disabled
+// with the capacity shards still present.
+func TestFastPathStats(t *testing.T) {
+	p, w := problem(t, 6, 30)
+	e := NewEngine(p, len(w.Queries), Options{})
+	st := e.FastPathStats()
+	if !st.Enabled || st.Tables == 0 || st.Candidates == 0 {
+		t.Fatalf("fast engine stats %+v, want enabled with non-empty tables", st)
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("no capacity shards reported")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.FastPathStats().Offers; got != 5 {
+		t.Fatalf("fast path priced %d offers, want 5", got)
+	}
+	if _, err := e.Crash(100, p.Cloud.ComputeNodes()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Offer(Arrival{Query: 5, AtSec: 101}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.FastPathStats()
+	if st.LiveGen == 0 || st.Refreshes == 0 {
+		t.Fatalf("crash did not move the fence: %+v", st)
+	}
+
+	off := NewEngine(p, len(w.Queries), Options{NoFastPath: true})
+	st = off.FastPathStats()
+	if st.Enabled || st.Tables != 0 {
+		t.Fatalf("NoFastPath stats %+v, want disabled", st)
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("NoFastPath engine lost its capacity shards")
+	}
+}

@@ -61,6 +61,12 @@ type Options struct {
 	// SnapshotEvery takes a full EngineState snapshot after every Nth
 	// journaled record, bounding replay length; zero means WAL-only.
 	SnapshotEvery int
+	// NoFastPath disables the precomputed admission tables (fastpath.go)
+	// and plans every offer with the original scan over the delay model.
+	// The zero value — fast path on — is the production configuration; the
+	// slow path exists as the byte-identity oracle the equivalence tests
+	// and the -fastpath=false escape hatch exercise.
+	NoFastPath bool
 }
 
 func (o Options) priceBase(n int) float64 {
@@ -137,9 +143,21 @@ type Engine struct {
 	opt  Options
 	base float64
 
-	used     map[graph.NodeID]float64
+	// used is the sharded atomic capacity ledger (capshard.go); all
+	// mutations go through setUsed/addUsed so the θ cache stays coherent.
+	used     *capLedger
 	releases releaseHeap
 	now      float64
+
+	// thetaVal/thetaFresh cache θ(v) between load changes: theta is the
+	// only math.Pow on the admission hot path, and one offer can price the
+	// same node once per demand.
+	thetaVal   []float64
+	thetaFresh []bool
+
+	// fast holds the precomputed admission tables (fastpath.go); nil when
+	// Options.NoFastPath selects the original planning scan.
+	fast *fastPath
 
 	sol  *placement.Solution
 	res  Result
@@ -177,23 +195,35 @@ type Engine struct {
 	stages        *instrument.StageTimeline
 	lastJournalNs int64
 	lastSyncNs    int64
+	// lastLookupNs records the last Offer's epoch-fence duration (the
+	// fast-path staleness check plus any mirror refresh), zero unless
+	// attribution was active.
+	lastLookupNs int64
 }
 
 // NewEngine builds an online engine over a placement problem. The problem's
 // query list is the universe arrivals refer into; replica bookkeeping and
 // the K bound come from the problem.
 func NewEngine(p *placement.Problem, expectedArrivals int, opt Options) *Engine {
+	top := p.Cloud.Topology()
 	e := &Engine{
-		p:         p,
-		opt:       opt,
-		base:      opt.priceBase(expectedArrivals),
-		used:      make(map[graph.NodeID]float64),
-		sol:       placement.NewSolution(),
-		jn:        opt.Journal,
-		snapEvery: opt.SnapshotEvery,
+		p:          p,
+		opt:        opt,
+		base:       opt.priceBase(expectedArrivals),
+		used:       newCapLedger(top),
+		thetaVal:   make([]float64, top.Graph.NumNodes()),
+		thetaFresh: make([]bool, top.Graph.NumNodes()),
+		sol:        placement.NewSolution(),
+		jn:         opt.Journal,
+		snapEvery:  opt.SnapshotEvery,
 	}
 	if opt.Forecast != nil {
 		e.prePlace(opt.Forecast)
+	}
+	// Tables are built after prePlace: the preferred-site set they bake in
+	// is frozen from here on.
+	if !opt.NoFastPath {
+		e.fast = newFastPath(e)
 	}
 	e.beginTrace()
 	return e
@@ -283,14 +313,50 @@ func (e *Engine) evalDelayForecast(q *workload.Query, dm workload.Demand, v grap
 	return proc + trans, true
 }
 
-// theta prices node v at the current instantaneous utilization.
+// theta prices node v at the current instantaneous utilization. The value
+// is cached until v's allocation changes (setUsed/addUsed invalidate), so
+// pricing many candidates between load changes pays one math.Pow per node;
+// the cached value is the bit-exact result of the same expression.
 func (e *Engine) theta(v graph.NodeID) float64 {
-	capGHz := e.p.Cloud.Capacity(v)
-	if capGHz <= 0 {
-		return math.Inf(1)
+	if e.thetaFresh[v] {
+		return e.thetaVal[v]
 	}
-	u := e.used[v] / capGHz
-	return (math.Pow(e.base, u) - 1) / (e.base - 1)
+	capGHz := e.p.Cloud.Capacity(v)
+	t := math.Inf(1)
+	if capGHz > 0 {
+		u := e.usedGHz(v) / capGHz
+		t = (math.Pow(e.base, u) - 1) / (e.base - 1)
+	}
+	e.thetaVal[v] = t
+	e.thetaFresh[v] = true
+	return t
+}
+
+// usedGHz reads node v's instantaneous allocation from the ledger.
+func (e *Engine) usedGHz(v graph.NodeID) float64 { return e.used.get(v) }
+
+// setUsed overwrites node v's allocation and invalidates its θ cache entry.
+// Every used-mutation in the engine funnels through setUsed/addUsed — that
+// centralization is what keeps the cached prices coherent with the ledger.
+func (e *Engine) setUsed(v graph.NodeID, ghz float64) {
+	e.used.set(v, ghz)
+	e.thetaFresh[v] = false
+}
+
+// addUsed adjusts node v's allocation by delta and returns the new value.
+func (e *Engine) addUsed(v graph.NodeID, delta float64) float64 {
+	n := e.used.get(v) + delta
+	e.used.set(v, n)
+	e.thetaFresh[v] = false
+	return n
+}
+
+// resetUsed zeroes the whole ledger (bulk state load).
+func (e *Engine) resetUsed() {
+	e.used.reset()
+	for i := range e.thetaFresh {
+		e.thetaFresh[i] = false
+	}
 }
 
 // Offer processes one arrival and returns its decision. Arrivals must be
@@ -306,28 +372,23 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 	e.drainReleases()
 
 	q := &e.p.Queries[a.Query]
-	// Plan each demand against instantaneous load; all-or-nothing.
-	tentative := make(map[graph.NodeID]float64)
-	tentOpen := make(map[workload.DatasetID]map[graph.NodeID]bool)
+	// Plan each demand against instantaneous load; all-or-nothing. The
+	// lookup stage is the fast path's epoch fence — the staleness check on
+	// the precomputed tables' liveness mirror plus any refresh an
+	// invalidation forced — timed only while attribution is active, like
+	// the journal stages.
+	e.lastLookupNs = 0
+	var admitted bool
 	var as []placement.Assignment
-	admitted := true
-	for _, dm := range q.Demands {
-		v, ok := e.pickNode(a.Query, dm, tentative, tentOpen)
-		if !ok {
-			admitted = false
-			break
+	if e.fast != nil {
+		if instrument.AttributionActive() {
+			lt := instrument.Mono()
+			e.fast.refresh(e)
+			e.lastLookupNs = int64(instrument.Mono() - lt)
 		}
-		need := e.p.ComputeNeed(a.Query, dm.Dataset)
-		tentative[v] += need
-		if !e.sol.HasReplica(dm.Dataset, v) {
-			m := tentOpen[dm.Dataset]
-			if m == nil {
-				m = make(map[graph.NodeID]bool)
-				tentOpen[dm.Dataset] = m
-			}
-			m[v] = true
-		}
-		as = append(as, placement.Assignment{Query: a.Query, Dataset: dm.Dataset, Node: v})
+		admitted, as = e.planFast(a.Query)
+	} else {
+		admitted, as = e.planSlow(a.Query)
 	}
 
 	dec := Decision{Query: a.Query, Admitted: admitted}
@@ -335,8 +396,7 @@ func (e *Engine) Offer(a Arrival) (Decision, error) {
 		dec.Assignments = as
 		for _, asg := range as {
 			need := e.p.ComputeNeed(a.Query, asg.Dataset)
-			e.used[asg.Node] += need
-			if u := e.used[asg.Node] / e.p.Cloud.Capacity(asg.Node); u > e.peak {
+			if u := e.addUsed(asg.Node, need) / e.p.Cloud.Capacity(asg.Node); u > e.peak {
 				e.peak = u
 			}
 			e.sol.AddReplica(asg.Dataset, asg.Node)
@@ -391,6 +451,40 @@ func (e *Engine) LastOfferJournalNs() (journalNs, syncNs int64) {
 	return e.lastJournalNs, e.lastSyncNs
 }
 
+// LastOfferLookupNs returns the duration of the most recent Offer's table
+// lookup fence — zero unless attribution was active (or the engine runs
+// the slow path, which has no tables to fence).
+func (e *Engine) LastOfferLookupNs() int64 { return e.lastLookupNs }
+
+// planSlow is the original planning loop — a full scan over the compute
+// nodes through the delay model, per demand. It is kept verbatim as the
+// fast path's oracle: the equivalence and byte-identity tests run both
+// paths over identical streams and require identical decisions.
+func (e *Engine) planSlow(qid workload.QueryID) (bool, []placement.Assignment) {
+	q := &e.p.Queries[qid]
+	tentative := make(map[graph.NodeID]float64)
+	tentOpen := make(map[workload.DatasetID]map[graph.NodeID]bool)
+	var as []placement.Assignment
+	for _, dm := range q.Demands {
+		v, ok := e.pickNode(qid, dm, tentative, tentOpen)
+		if !ok {
+			return false, nil
+		}
+		need := e.p.ComputeNeed(qid, dm.Dataset)
+		tentative[v] += need
+		if !e.sol.HasReplica(dm.Dataset, v) {
+			m := tentOpen[dm.Dataset]
+			if m == nil {
+				m = make(map[graph.NodeID]bool)
+				tentOpen[dm.Dataset] = m
+			}
+			m[v] = true
+		}
+		as = append(as, placement.Assignment{Query: qid, Dataset: dm.Dataset, Node: v})
+	}
+	return true, as
+}
+
 // pickNode selects the cheapest feasible node for one demand under the
 // instantaneous dual prices.
 func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
@@ -413,7 +507,7 @@ func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
 			continue
 		}
 		capGHz := e.p.Cloud.Capacity(v)
-		if e.used[v]+tentative[v]+need > capGHz*maxU+1e-9 {
+		if e.usedGHz(v)+tentative[v]+need > capGHz*maxU+1e-9 {
 			continue
 		}
 		has := e.sol.HasReplica(dm.Dataset, v) || tentOpen[dm.Dataset][v]
@@ -438,9 +532,8 @@ func (e *Engine) pickNode(q workload.QueryID, dm workload.Demand,
 func (e *Engine) drainReleases() {
 	for len(e.releases) > 0 && e.releases[0].at <= e.now {
 		r := heap.Pop(&e.releases).(release)
-		e.used[r.node] -= r.amt
-		if e.used[r.node] < 0 {
-			e.used[r.node] = 0
+		if e.addUsed(r.node, -r.amt) < 0 {
+			e.setUsed(r.node, 0)
 		}
 	}
 }

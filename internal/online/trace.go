@@ -82,10 +82,15 @@ func (e *Engine) attachStageNs(ev *instrument.TraceEvent) {
 // the trace, so the reason an operator sees over HTTP is byte-for-byte the
 // reason invariant.CheckTrace replays.
 func (e *Engine) ClassifyRejection(q workload.QueryID) (instrument.Reason, workload.DatasetID, graph.NodeID) {
+	if e.fast != nil {
+		// The precomputed classification tables: same reason, same locus,
+		// proven equivalent by TestFastPathEquivalence.
+		return e.classifyFast(q)
+	}
 	maxU := e.opt.maxUtil()
 	return placement.ClassifyRejection(e.p, q, placement.RejectionState{
 		Avail: func(v graph.NodeID) float64 {
-			return e.p.Cloud.Capacity(v)*maxU - e.used[v]
+			return e.p.Cloud.Capacity(v)*maxU - e.usedGHz(v)
 		},
 		HasReplica:   e.sol.HasReplica,
 		ReplicaCount: e.sol.ReplicaCount,

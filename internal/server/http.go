@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"edgerep/internal/instrument"
+	"edgerep/internal/online"
 )
 
 // Handler returns the daemon's route table. Paths the server does not own
@@ -114,7 +115,14 @@ func (s *Server) stateHandler(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := json.MarshalIndent(s.StateDump(), "", "  ")
+	// The embedded EngineState keeps the payload a superset of the journal
+	// snapshot (existing parsers ignore the extra key); fastpath adds the
+	// admission tables' fence counters and the per-tier capacity shards.
+	payload := struct {
+		*online.EngineState
+		FastPath online.FastPathStats `json:"fastpath"`
+	}{s.StateDump(), s.FastPathStats()}
+	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -26,7 +26,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -53,9 +52,10 @@ var (
 
 	// Per-stage admission-latency histograms (latency attribution; filled
 	// only while instrument.AttributionActive). Indexed via stageHists in
-	// instrument.Stage order — the six stages partition enqueue→response.
+	// instrument.Stage order — the seven stages partition enqueue→response.
 	histStageQueue    = instrument.NewHistogram("server.stage_queue_seconds", instrument.DefaultStageBuckets...)
 	histStageCoalesce = instrument.NewHistogram("server.stage_coalesce_seconds", instrument.DefaultStageBuckets...)
+	histStageLookup   = instrument.NewHistogram("server.stage_lookup_seconds", instrument.DefaultStageBuckets...)
 	histStagePricing  = instrument.NewHistogram("server.stage_pricing_seconds", instrument.DefaultStageBuckets...)
 	histStageJournal  = instrument.NewHistogram("server.stage_journal_seconds", instrument.DefaultStageBuckets...)
 	histStageFsync    = instrument.NewHistogram("server.stage_fsync_seconds", instrument.DefaultStageBuckets...)
@@ -64,6 +64,7 @@ var (
 	stageHists = [instrument.NumStages]*instrument.Histogram{
 		instrument.StageQueue:    histStageQueue,
 		instrument.StageCoalesce: histStageCoalesce,
+		instrument.StageLookup:   histStageLookup,
 		instrument.StagePricing:  histStagePricing,
 		instrument.StageJournal:  histStageJournal,
 		instrument.StageFsync:    histStageFsync,
@@ -149,9 +150,10 @@ type AdmitResponse struct {
 	Dataset     int64             `json:"dataset"`
 	Node        int64             `json:"node"`
 	// StageNs is the decision's critical-path breakdown in
-	// instrument.StageNames order (queue/coalesce/pricing/journal/fsync/ack
-	// nanoseconds), present only while latency attribution is active. Its
-	// sum is the server-side enqueue→response latency of this decision.
+	// instrument.StageNames order (queue/coalesce/lookup/pricing/journal/
+	// fsync/ack nanoseconds), present only while latency attribution is
+	// active. Its sum is the server-side enqueue→response latency of this
+	// decision.
 	StageNs []int64 `json:"stage_ns,omitempty"`
 }
 
@@ -207,6 +209,10 @@ type Server struct {
 	// different tracker is attached (sloOwner remembers whose batch it is).
 	sloBatch *instrument.SLOBatch
 	sloOwner *instrument.SLOTracker
+
+	// slots is the priced-but-undelivered scratch between processEpoch's
+	// two phases, reused across epochs (only the epoch loop touches it).
+	slots []epochSlot
 
 	start time.Time
 	base  float64
@@ -321,38 +327,69 @@ func (s *Server) run() {
 	}
 }
 
+// epochSlot is one decision's priced-but-undelivered state between the two
+// phases of processEpoch.
+type epochSlot struct {
+	resp     AdmitResponse
+	err      error
+	tl       instrument.StageTimeline
+	t1       time.Duration
+	id       int64
+	admitted bool
+}
+
 // processEpoch prices one micro-epoch against the engine's dual state and
-// answers every waiter. While latency attribution is active every decision
-// additionally gets a stage timeline: queue and coalesce split at the
-// batch-close stamp taken once per epoch, journal and fsync come from the
-// engine's journal measurement, pricing is the Offer duration net of the
-// journal append, and ack the response-construction tail — six stages that exactly partition the
-// enqueue→response interval (see instrument.StageTimeline).
+// answers every waiter, in two phases. Phase 1 holds the epoch lock and is
+// pure pricing: every decision is offered, classified, and journaled into a
+// slot, in batch order. Phase 2 runs with the lock released and delivers
+// the slots in the same order, stamping each decision's ack stage at its
+// actual hand-off. Splitting delivery out of the locked section replaced
+// the old Gosched-every-32 yield hack: waiters are now answered while the
+// engine lock is free, so the pricing loop can't convoy acknowledged
+// responses behind the rest of the batch's pricing on one processor
+// (TestAckConvoyRegression pins GOMAXPROCS=1 and checks the attributed
+// stage sums still track the client-observed end-to-end latency). Batch
+// order — and therefore the deterministic journal and trace — is untouched;
+// every decision is journaled in phase 1 before any response leaves in
+// phase 2, which preserves the exactly-once direction: no ack without a
+// durable record.
+//
+// While latency attribution is active every decision gets a stage timeline:
+// queue and coalesce split at the batch-close stamp taken once per epoch,
+// lookup is the fast path's table fence, journal and fsync come from the
+// engine's journal measurement, pricing is the Offer duration net of fence
+// and journal, and ack spans pricing end to delivery — seven stages that
+// exactly partition the enqueue→response interval on one clock (see
+// instrument.StageTimeline).
 func (s *Server) processEpoch(batch []*pending) {
 	if len(batch) == 0 {
 		return
 	}
+	attributed := instrument.AttributionActive()
+	tr := instrument.CurrentSLOTracker()
+	fr := instrument.CurrentFlightRecorder()
+	if cap(s.slots) < len(batch) {
+		s.slots = make([]epochSlot, len(batch))
+	}
+	slots := s.slots[:len(batch)]
+	var tl instrument.StageTimeline
+	var stageArena []int64
+	var batchClose time.Duration
+
+	// Phase 1: price and journal under the epoch lock.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.epochs++
 	epoch := s.epochs
 	statEpochs.Inc()
 	histEpochQueries.Observe(float64(len(batch)))
 	gaugeEpochOccupancy.Set(float64(len(batch)) / float64(s.cfg.epochMax()))
-	attributed := instrument.AttributionActive()
-	tr := instrument.CurrentSLOTracker()
-	fr := instrument.CurrentFlightRecorder()
 	if tr != nil && s.sloOwner != tr {
 		s.sloBatch, s.sloOwner = tr.NewBatch(), tr
 	}
-	var tl instrument.StageTimeline
-	var stageArena []int64
-	var batchClose time.Duration
 	if attributed {
 		// The engine copies the timeline's known prefix (queue, coalesce)
-		// onto the decision's trace event; detached when the epoch is done.
+		// onto the decision's trace event; detached when the phase is done.
 		s.eng.AttachStages(&tl)
-		defer s.eng.AttachStages(nil)
 		// One arena allocation serves every response's StageNs this epoch
 		// (full-slice expressions below keep the sub-slices append-safe), so
 		// attribution costs one malloc per epoch, not one per decision.
@@ -364,6 +401,8 @@ func (s *Server) processEpoch(batch []*pending) {
 		batchClose = instrument.Mono()
 	}
 	for i, pd := range batch {
+		sl := &slots[i]
+		*sl = epochSlot{}
 		at := pd.req.AtSec
 		if now := s.clock(); at < now {
 			at = now
@@ -379,15 +418,15 @@ func (s *Server) processEpoch(batch []*pending) {
 			tl[instrument.StageCoalesce] = clampNs(int64(t0 - batchClose))
 		}
 		dec, err := s.eng.Offer(online.Arrival{Query: pd.req.Query, AtSec: at, HoldSec: pd.req.HoldSec})
-		var t1 time.Duration
 		if attributed {
-			t1 = instrument.Mono()
+			sl.t1 = instrument.Mono()
 		}
 		if err != nil {
-			pd.resp <- result{err: err}
+			sl.err = err
 			continue
 		}
-		resp := AdmitResponse{
+		sl.admitted = dec.Admitted
+		sl.resp = AdmitResponse{
 			Query:    pd.req.Query,
 			Admitted: dec.Admitted,
 			AtSec:    at,
@@ -398,75 +437,92 @@ func (s *Server) processEpoch(batch []*pending) {
 		if dec.Admitted {
 			statAdmitted.Inc()
 			for _, asg := range dec.Assignments {
-				resp.Assignments = append(resp.Assignments, Assignment{Dataset: asg.Dataset, Node: asg.Node})
+				sl.resp.Assignments = append(sl.resp.Assignments, Assignment{Dataset: asg.Dataset, Node: asg.Node})
 			}
 		} else {
 			statRejected.Inc()
 			reason, ds, node := s.eng.ClassifyRejection(pd.req.Query)
-			resp.Reason = reason
-			resp.Dataset = int64(ds)
-			resp.Node = int64(node)
+			sl.resp.Reason = reason
+			sl.resp.Dataset = int64(ds)
+			sl.resp.Node = int64(node)
 		}
 		statOffers.Inc()
-		decisionID := s.offers + 1
-		var e2e float64
-		var end time.Duration
+		s.offers++
+		sl.id = s.offers
 		if attributed {
 			jNs, syncNs := s.eng.LastOfferJournalNs()
 			if syncNs > jNs {
 				syncNs = jNs
 			}
+			lookupNs := s.eng.LastOfferLookupNs()
 			tl[instrument.StageJournal] = clampNs(jNs - syncNs)
 			tl[instrument.StageFsync] = clampNs(syncNs)
-			tl[instrument.StagePricing] = clampNs(int64(t1-t0) - jNs)
-			end = instrument.Mono()
-			tl[instrument.StageAck] = clampNs(int64(end - t1))
+			tl[instrument.StageLookup] = clampNs(lookupNs)
+			tl[instrument.StagePricing] = clampNs(int64(sl.t1-t0) - jNs - lookupNs)
+			// Ack is stamped at delivery in phase 2; the arena slot is
+			// rewritten there through the aliasing StageNs sub-slice.
 			k := len(stageArena)
 			stageArena = append(stageArena, tl[:]...)
-			resp.StageNs = stageArena[k:len(stageArena):len(stageArena)]
-			for i := range s.stageBatch {
-				s.stageBatch[i].Observe(float64(tl[i])*1e-9, decisionID)
-			}
-			// The attributed end-to-end observation is the stage sum — the
-			// six stages telescope back to enqueue→response on one clock.
-			e2e = float64(tl.TotalNs()) * 1e-9
-			s.admitBatch.Observe(e2e, decisionID)
-		} else if !pd.enq.IsZero() {
-			e2e = time.Since(pd.enq).Seconds()
-			histAdmitLatency.Observe(e2e)
+			sl.resp.StageNs = stageArena[k:len(stageArena):len(stageArena)]
+			sl.tl = tl
 		}
-		if tr != nil {
-			s.sloBatch.Observe(e2e, dec.Admitted, resp.Reason)
-		}
-		if fr != nil {
-			kind := instrument.EventAdmit
-			if !dec.Admitted {
-				kind = instrument.EventReject
-			}
-			var stages *instrument.StageTimeline
-			if attributed {
-				stages = &tl
-			}
-			fr.RecordDecisionAt(kind, int64(pd.req.Query), epoch, dec.Admitted, resp.Reason, stages, int64(end))
-		}
-		pd.resp <- result{resp: resp}
-		s.offers++
 		if s.crashAfter > 0 && s.offers == s.crashAfter && s.crashFn != nil {
+			// The chaos fault fires with the decision journaled but its
+			// response undelivered — exactly the window the recovery drill
+			// must tolerate (journaled-but-unacked replays identically; the
+			// client saw no ack, so nothing double-admits).
 			if fr != nil {
 				fr.Record(instrument.FlightEntry{Kind: instrument.EventChaos})
 			}
 			s.crashFn()
 		}
-		// Yield periodically so answered waiters actually run. On small
-		// GOMAXPROCS the pricing loop would otherwise hold the processor for
-		// the whole epoch while responses sit delivered-but-unread, turning
-		// the ack hand-off into an epoch-sized convoy — latency attribution
-		// surfaced exactly this as stage sums falling far short of the
-		// client-observed end-to-end time. Batch order (and therefore the
-		// deterministic trace) is unaffected; only scheduling interleaves.
-		if i&31 == 31 {
-			runtime.Gosched()
+	}
+	if attributed {
+		s.eng.AttachStages(nil)
+	}
+	s.mu.Unlock()
+
+	// Phase 2: deliver in batch order with the engine lock free.
+	for i := range slots {
+		sl := &slots[i]
+		pd := batch[i]
+		if sl.err != nil {
+			pd.resp <- result{err: sl.err}
+			continue
 		}
+		var e2e float64
+		var end time.Duration
+		if attributed {
+			end = instrument.Mono()
+			ack := clampNs(int64(end - sl.t1))
+			sl.tl[instrument.StageAck] = ack
+			sl.resp.StageNs[instrument.StageAck] = ack
+			for j := range s.stageBatch {
+				s.stageBatch[j].Observe(float64(sl.tl[j])*1e-9, sl.id)
+			}
+			// The attributed end-to-end observation is the stage sum — the
+			// seven stages telescope back to enqueue→response on one clock.
+			e2e = float64(sl.tl.TotalNs()) * 1e-9
+			s.admitBatch.Observe(e2e, sl.id)
+		} else if !pd.enq.IsZero() {
+			e2e = time.Since(pd.enq).Seconds()
+			histAdmitLatency.Observe(e2e)
+		}
+		if tr != nil {
+			s.sloBatch.Observe(e2e, sl.admitted, sl.resp.Reason)
+		}
+		if fr != nil {
+			kind := instrument.EventAdmit
+			if !sl.admitted {
+				kind = instrument.EventReject
+			}
+			var stages *instrument.StageTimeline
+			if attributed {
+				stages = &sl.tl
+			}
+			fr.RecordDecisionAt(kind, int64(pd.req.Query), epoch, sl.admitted, sl.resp.Reason, stages, int64(end))
+		}
+		pd.resp <- result{resp: sl.resp}
 	}
 	if attributed {
 		for i := range s.stageBatch {
@@ -511,6 +567,37 @@ func (s *Server) Drain() error {
 	defer s.mu.Unlock()
 	s.eng.EmitEnd()
 	return s.eng.SnapshotNow()
+}
+
+// Crash injects the failure of node v between epochs: it takes the epoch
+// lock like a batch would, stamps the crash at the serving clock (floored
+// at the engine's model time, like an arrival), and runs the engine's
+// failover repair. The liveness generation bump it causes is what the fast
+// path's epoch fence observes — the next offer refreshes its mirror before
+// consulting any table, so no decision admits onto the crashed node through
+// stale state (TestFastPathStaleTableFuzz races exactly this interleaving).
+func (s *Server) Crash(v graph.NodeID) (online.CrashReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.clock()
+	if floor := s.eng.Now(); at < floor {
+		at = floor
+	}
+	return s.eng.Crash(at, v)
+}
+
+// Restore marks a crashed node alive again, between epochs.
+func (s *Server) Restore(v graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Restore(v)
+}
+
+// FastPathStats reports the engine's fast-path table and fence counters.
+// It deliberately does NOT take the epoch lock: the stats are atomics and
+// immutable table sizes, so /state can observe the fast path mid-epoch.
+func (s *Server) FastPathStats() online.FastPathStats {
+	return s.eng.FastPathStats()
 }
 
 // StateDump returns the engine's canonical state (see online.EngineState),
