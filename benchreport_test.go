@@ -1,11 +1,12 @@
-// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr9.json,
+// Perf-trajectory artifact: TestWriteBenchReport regenerates BENCH_pr10.json,
 // the machine-readable record of how fast the hot paths are at this PR and
 // how they compare to the seed tree (BENCH_pr1.json, BENCH_pr5.json,
-// BENCH_pr6.json, BENCH_pr7.json, and BENCH_pr8.json are the committed
-// earlier snapshots and stay untouched). The workloads mirror the named
-// benchmarks in bench_test.go plus the edgerepd load driver — with and
-// without latency attribution, and with the fast-path admission drive under
-// chaos crash/restore cycles; timing runs with instrumentation disabled (its
+// BENCH_pr6.json, BENCH_pr7.json, BENCH_pr8.json, and BENCH_pr9.json are
+// the committed earlier snapshots and stay untouched). The workloads mirror
+// the named benchmarks in bench_test.go plus the edgerepd load driver — with
+// and without latency attribution, with the fast-path admission drive under
+// chaos crash/restore cycles, and with the multi-region kill-the-leader
+// federation drill; timing runs with instrumentation disabled (its
 // disabled-mode cost is zero-alloc, see internal/instrument), then one
 // instrumented pass captures the counters behind the numbers.
 //
@@ -26,13 +27,14 @@ import (
 
 	"edgerep/internal/core"
 	"edgerep/internal/experiments"
+	"edgerep/internal/federation"
 	"edgerep/internal/instrument"
 	"edgerep/internal/lint"
 	"edgerep/internal/online"
 	"edgerep/internal/server"
 )
 
-var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr9.json")
+var benchReportFlag = flag.Bool("benchreport", false, "regenerate BENCH_pr10.json")
 
 // Seed-tree reference numbers for the workloads below, measured with
 // `go test -bench -benchmem` at the growth seed (commit 7f6be61) on the same
@@ -85,11 +87,11 @@ func ratio(a, b float64) float64 {
 
 func TestWriteBenchReport(t *testing.T) {
 	if !*benchReportFlag {
-		t.Skip("pass -benchreport to regenerate BENCH_pr9.json")
+		t.Skip("pass -benchreport to regenerate BENCH_pr10.json")
 	}
 
 	report := &instrument.BenchReport{
-		PR:          "pr9",
+		PR:          "pr10",
 		GoVersion:   runtime.Version(),
 		Host:        fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		GeneratedBy: "go test -run TestWriteBenchReport -benchreport .",
@@ -528,8 +530,71 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
+	// The federation failover drill — the headline number of this PR. One op
+	// = one full 3-region kill-the-leader chaos drill (federation.RunDrill):
+	// three journaling leaders behind real HTTP listeners, a warm standby
+	// shipping the shard-0 leader's sealed WAL, the leader killed (torn tail)
+	// at offer 300 of 600, the standby promoted at the bumped term, every
+	// pending offer re-offered, and the exactly-once + CheckFailover +
+	// CheckTrace audits run on the result. The Derived block carries the
+	// operational numbers the issue floors: wall-clock time from the kill to
+	// the first ack at the new term, the model-time ack gap on the killed
+	// shard (budget: < 2s), and the steady-state replication lag in records
+	// observed on the last pre-kill sync.
+	var fedRep *federation.DrillReport
+	fedDrill := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := federation.RunDrill(federation.DrillConfig{
+				Regions: 3,
+				Count:   600,
+				Seed:    17,
+				BaseDir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fedRep = rep
+		}
+	}
+	r, snap = measure(t, fedDrill)
+	if fedRep.Acked != fedRep.Offers || fedRep.JournalOffers != fedRep.Acked {
+		t.Errorf("FederationFailover lost decisions: %d offers, %d acked, %d journaled",
+			fedRep.Offers, fedRep.Acked, fedRep.JournalOffers)
+	}
+	if fedRep.FailoverWallNs <= 0 || fedRep.FailoverWallNs >= 5e9 {
+		t.Errorf("FederationFailover took %dns of wall time from kill to first new-term ack, want (0, 5s)", fedRep.FailoverWallNs)
+	}
+	if fedRep.PromotionGapModelSec <= 0 || fedRep.PromotionGapModelSec >= 2 {
+		t.Errorf("FederationFailover promotion gap %.4fs of model time, want (0, 2)", fedRep.PromotionGapModelSec)
+	}
+	e = instrument.BenchEntry{
+		Name:        "FederationFailover",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Counters: counters(snap,
+			"federation.ship_segments", "federation.ship_retries",
+			"federation.failovers", "federation.heartbeat_misses",
+			"server.term_fenced", "server.forwarded"),
+		Derived: map[string]float64{
+			"offers":                  float64(fedRep.Offers),
+			"acked":                   float64(fedRep.Acked),
+			"journal_offers":          float64(fedRep.JournalOffers),
+			"reoffered":               float64(fedRep.Reoffered),
+			"fenced":                  float64(fedRep.Fenced),
+			"failover_wall_ns":        float64(fedRep.FailoverWallNs),
+			"promotion_gap_model_sec": fedRep.PromotionGapModelSec,
+			"steady_lag_records":      float64(fedRep.SteadyLagRecords),
+			"shipped_segments":        float64(fedRep.ShippedSegments),
+		},
+	}
+	report.Entries = append(report.Entries, e)
+
 	// The static-analysis gate: parse the whole tree, resolve it with
-	// go/types (one op = parse + full type-check + all twelve analyzers — the
+	// go/types (one op = parse + full type-check + all thirteen analyzers — the
 	// type-aware pass this PR introduced), and run every analyzer. Besides
 	// timing, this records the analyzer/finding/type-error counts in the
 	// report and refuses to regenerate it from a tree that fails the gate or
@@ -571,7 +636,7 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	report.Entries = append(report.Entries, e)
 
-	if err := report.WriteFile("BENCH_pr9.json"); err != nil {
+	if err := report.WriteFile("BENCH_pr10.json"); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range report.Entries {
@@ -591,12 +656,16 @@ func TestWriteBenchReport(t *testing.T) {
 // ci.sh budget, BENCH_pr8.json onward the AttributionOverhead entry (the
 // drive with attribution on at ≤1.1× the attribution-off drive, with a
 // per-stage p95 breakdown whose stage-sum p95 tracks the measured end-to-end
-// p95 — pr8 recorded six stages, pr9 adds the lookup stage), and
-// BENCH_pr9.json the FastPathAdmission entry: the issue's sub-millisecond
-// floor — p95 < 1ms at ≥ 250k decisions/s with the chaos crash/restore loop
-// running against the precomputed feasibility tables.
+// p95 — pr8 recorded six stages, pr9 adds the lookup stage),
+// BENCH_pr9.json onward the FastPathAdmission entry (the issue's
+// sub-millisecond floor — p95 < 1ms at ≥ 250k decisions/s with the chaos
+// crash/restore loop running against the precomputed feasibility tables),
+// and BENCH_pr10.json the FederationFailover entry: the 3-region
+// kill-the-leader drill with zero acked decisions lost, a promotion gap
+// under the issue's 2s model-time budget, and the steady-state replication
+// lag on record.
 func TestBenchReportCommitted(t *testing.T) {
-	for _, pr := range []string{"pr1", "pr5", "pr6", "pr7", "pr8", "pr9"} {
+	for _, pr := range []string{"pr1", "pr5", "pr6", "pr7", "pr8", "pr9", "pr10"} {
 		path := "BENCH_" + pr + ".json"
 		r, err := instrument.ReadReport(path)
 		if err != nil {
@@ -616,7 +685,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s %s: slower than the seed tree (speedup %.2f)", path, e.Name, e.Speedup)
 			}
 		}
-		if pr == "pr5" || pr == "pr6" || pr == "pr7" || pr == "pr8" || pr == "pr9" {
+		if pr == "pr5" || pr == "pr6" || pr == "pr7" || pr == "pr8" || pr == "pr9" || pr == "pr10" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name == "JournalOverhead" {
@@ -630,7 +699,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the JournalOverhead entry", path)
 			}
 		}
-		if pr == "pr6" || pr == "pr7" || pr == "pr8" || pr == "pr9" {
+		if pr == "pr6" || pr == "pr7" || pr == "pr8" || pr == "pr9" || pr == "pr10" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "DaemonThroughput" {
@@ -653,7 +722,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the DaemonThroughput entry", path)
 			}
 		}
-		if pr == "pr7" || pr == "pr8" || pr == "pr9" {
+		if pr == "pr7" || pr == "pr8" || pr == "pr9" || pr == "pr10" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "EdgerepvetRepoScan" {
@@ -677,7 +746,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the EdgerepvetRepoScan entry", path)
 			}
 		}
-		if pr == "pr8" || pr == "pr9" {
+		if pr == "pr8" || pr == "pr9" || pr == "pr10" {
 			// pr8 predates the lookup stage; its committed snapshot carries the
 			// original six stages and the tight pre-fast-path ratio band. pr9
 			// onward must record every current stage and bounds attribution by
@@ -702,7 +771,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				if ratio := e.Derived["attribution_overhead_ratio"]; ratio <= 0 || ratio > hiRatio {
 					t.Errorf("AttributionOverhead ratio %v, want in (0, %v]", ratio, hiRatio)
 				}
-				if pr == "pr9" {
+				if pr == "pr9" || pr == "pr10" {
 					if cost := e.Derived["attribution_cost_ns_per_decision"]; cost <= 0 || cost >= 1250 {
 						t.Errorf("AttributionOverhead costs %vns per decision, want in (0, 1250)", cost)
 					}
@@ -720,7 +789,7 @@ func TestBenchReportCommitted(t *testing.T) {
 				t.Errorf("%s lacks the AttributionOverhead entry", path)
 			}
 		}
-		if pr == "pr9" {
+		if pr == "pr9" || pr == "pr10" {
 			found := false
 			for _, e := range r.Entries {
 				if e.Name != "FastPathAdmission" {
@@ -745,6 +814,40 @@ func TestBenchReportCommitted(t *testing.T) {
 			}
 			if !found {
 				t.Errorf("%s lacks the FastPathAdmission entry", path)
+			}
+		}
+		if pr == "pr10" {
+			found := false
+			for _, e := range r.Entries {
+				if e.Name != "FederationFailover" {
+					continue
+				}
+				found = true
+				if gap := e.Derived["promotion_gap_model_sec"]; gap <= 0 || gap >= 2 {
+					t.Errorf("FederationFailover promotion gap %vs model time, want in (0, 2)", gap)
+				}
+				if wall := e.Derived["failover_wall_ns"]; wall <= 0 || wall >= 5e9 {
+					t.Errorf("FederationFailover failover wall time %v ns, want in (0, 5e9)", wall)
+				}
+				if lag := e.Derived["steady_lag_records"]; lag < 0 {
+					t.Errorf("FederationFailover steady-state replication lag %v records, want >= 0", lag)
+				}
+				offers, acked := e.Derived["offers"], e.Derived["acked"]
+				if offers <= 0 || acked != offers {
+					t.Errorf("FederationFailover acked %v of %v offers; the drill must ack every offer exactly once", acked, offers)
+				}
+				if jo := e.Derived["journal_offers"]; jo != offers {
+					t.Errorf("FederationFailover journaled %v offers for %v acked; decisions leaked past the WALs", jo, offers)
+				}
+				if e.Derived["shipped_segments"] <= 0 {
+					t.Error("FederationFailover shipped no sealed segments; the standby promoted cold")
+				}
+				if e.Derived["fenced"] < 1 {
+					t.Error("FederationFailover fenced no stale-term offers; the kill produced no term race to fence")
+				}
+			}
+			if !found {
+				t.Errorf("%s lacks the FederationFailover entry", path)
 			}
 		}
 	}

@@ -5,8 +5,9 @@
 # (zero-alloc off path, byte-identical traces, flight-ring race stress),
 # durability (journal/recovery + kill-and-resume byte-identity), the edgerepd daemon drill
 # (selfdrive byte-identity + HTTP serve/kill -9/resume + live /slo and
-# /debug/flight probes + SIGTERM flight snapshot), docs link check,
-# example smoke, bench smoke.
+# /debug/flight probes + SIGTERM flight snapshot), federation gates (3-region
+# kill-the-leader drill byte-identity + multi-process kill -9 follower
+# promotion), docs link check, example smoke, bench smoke.
 # Run before every commit. See ARCHITECTURE.md, "CI".
 set -eu
 
@@ -135,6 +136,65 @@ grep -q "drained" "$tmp/dserve2.err"
 [ -s "$tmp/dhttp-wal/flight-snapshot.json" ] || {
     echo "SIGTERM drain left no flight-snapshot.json next to the journal" >&2; exit 1; }
 grep -q '"entries"' "$tmp/dhttp-wal/flight-snapshot.json"
+
+echo "== federation gates (replication + failover race-clean; 3-region drill byte-identity; multi-process kill -9 promotion)"
+# The shipping/standby/promotion paths and the failover auditor under -race.
+go test -race -run 'Ship|Standby|Drill|Failover|Term|Owner' ./internal/federation ./internal/invariant
+# In-process 3-region chaos drill: kill the shard-0 leader mid-load, promote
+# the warm standby, and require every acked decision exactly-once (the drill
+# errors internally otherwise). Run it twice with the same seed: the
+# verification trace AND every WAL byte must be identical across runs.
+for run in 1 2; do
+    mkdir "$tmp/fed$run"
+    "$tmp/edgerepd" -selfdrive -regions 3 -count 600 -journal "$tmp/fed$run" \
+        -trace "$tmp/fedtrace$run.jsonl" > "$tmp/feddrill$run.out"
+    grep -q "drill ok: 600/600 acked exactly-once" "$tmp/feddrill$run.out"
+done
+cmp "$tmp/fedtrace1.jsonl" "$tmp/fedtrace2.jsonl"
+diff -r "$tmp/fed1" "$tmp/fed2" > /dev/null
+# The killed shard's ack stream must resume within the promotion budget:
+# < 2s of model time between the old leader's last ack and the new one's first.
+gap=$(sed -n 's/.*"promotion_gap_model_sec":\([0-9.e+-]*\).*/\1/p' "$tmp/feddrill1.out")
+awk "BEGIN { exit !($gap > 0 && $gap < 2) }" || {
+    echo "promotion gap ${gap}s of model time; budget is (0, 2)" >&2; exit 1; }
+# Multi-process: a real leader daemon, a warm follower shipping its WAL over
+# HTTP, kill -9 the leader mid-load, and require the follower to promote
+# itself and serve admissions at the bumped term.
+"$tmp/edgerepd" -region r0 -journal "$tmp/fedlead-wal" -http 127.0.0.1:0 \
+    -segment-bytes 4096 -nosync > "$tmp/fedlead.out" 2> "$tmp/fedlead.err" &
+fpid=$!
+i=0
+until grep -q "serving on" "$tmp/fedlead.out" 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "federated leader did not bind" >&2; cat "$tmp/fedlead.err" >&2; exit 1; fi
+    sleep 0.1
+done
+faddr=$(sed -n 's/^edgerepd: serving on //p' "$tmp/fedlead.out")
+"$tmp/edgerepd" -follow "$faddr" -takeover "$tmp/fedlead-wal" -journal "$tmp/fedpromo-wal" \
+    -http 127.0.0.1:0 -heartbeat 100ms -failover-after 3 -nosync \
+    > "$tmp/fedfollow.out" 2> "$tmp/fedfollow.err" &
+wpid=$!
+i=0
+until grep -q "serving on" "$tmp/fedfollow.out" 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "follower did not bind" >&2; cat "$tmp/fedfollow.err" >&2; exit 1; fi
+    sleep 0.1
+done
+"$tmp/edgerepd" -drive "$faddr" -count 1000 | grep -q "drive ok: /metrics serves"
+sleep 0.5  # let the follower ship the sealed prefix
+kill -9 "$fpid"
+wait "$fpid" 2>/dev/null || true
+i=0
+until grep -q "promoted to term 2" "$tmp/fedfollow.out" 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 100 ]; then echo "follower never promoted after leader kill -9" >&2; cat "$tmp/fedfollow.err" >&2; exit 1; fi
+    sleep 0.1
+done
+waddr=$(sed -n 's/^edgerepd: serving on //p' "$tmp/fedfollow.out")
+"$tmp/edgerepd" -drive "$waddr" -count 500 | grep -q "drive ok: /metrics serves"
+kill -TERM "$wpid"
+wait "$wpid"
+grep -q "drained at term 2" "$tmp/fedfollow.err"
 
 echo "== docs link check (files referenced from the operator docs exist)"
 for doc in README.md ARCHITECTURE.md OPERATIONS.md EXPERIMENTS.md DESIGN.md \

@@ -87,6 +87,19 @@ func main() {
 
 		driveURL = flag.String("drive", "", "drive a remote daemon: POST /admit batches against this base URL, then verify /metrics serves")
 		batch    = flag.Int("batch", 64, "drive: queries per HTTP batch")
+
+		region       = flag.String("region", "", "federation: region name; serves /ship + /federation next to /admit (leader mode)")
+		shards       = flag.Int("shards", 1, "federation: number of regions; >1 masks foreign cloudlets and forwards cross-shard admissions")
+		shard        = flag.Int("shard", 0, "federation: this region's shard index in [0, -shards)")
+		peers        = flag.String("peers", "", "federation: comma list of shard=baseURL forwarding targets (e.g. 0=http://a:8080,1=http://b:8080)")
+		term         = flag.Int64("term", 1, "federation: leadership term to serve under (must not regress the persisted term)")
+		segmentBytes = flag.Int64("segment-bytes", 0, "federation: WAL segment rotation size in bytes (0 = 1MiB); smaller segments ship sooner")
+		follow       = flag.String("follow", "", "federation: run as a warm standby of the leader at this base URL (requires -journal for the promoted WAL and -takeover)")
+		takeover     = flag.String("takeover", "", "federation: the leader's journal directory to finish replay from at promotion")
+		heartbeat    = flag.Duration("heartbeat", 500*time.Millisecond, "federation: follower manifest-poll (heartbeat) interval")
+		failAfter    = flag.Int("failover-after", 3, "federation: consecutive missed heartbeats before the follower promotes itself")
+		regions      = flag.Int("regions", 1, "selfdrive: >1 runs the in-process multi-region kill-the-leader drill instead of a single-engine drive")
+		killAfter    = flag.Int("kill-leader-after", 0, "selfdrive drill: SIGKILL the shard-0 leader after this many offers (0 = half of -count)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -101,6 +114,9 @@ func main() {
 		selfdrive: *selfdrive, count: *count, rate: *rate, pipeline: *pipeline,
 		driveSeed: *driveSeed, modelRate: *modelRate, meanHold: *meanHold, crashN: *crashN,
 		driveURL: *driveURL, batch: *batch,
+		region: *region, shards: *shards, shard: *shard, peers: *peers, term: *term,
+		segmentBytes: *segmentBytes, follow: *follow, takeover: *takeover,
+		heartbeat: *heartbeat, failAfter: *failAfter, regions: *regions, killAfter: *killAfter,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "edgerepd: %v\n", err)
 		os.Exit(1)
@@ -137,6 +153,19 @@ type runConfig struct {
 	crashN      int
 	driveURL    string
 	batch       int
+
+	region       string
+	shards       int
+	shard        int
+	peers        string
+	term         int64
+	segmentBytes int64
+	follow       string
+	takeover     string
+	heartbeat    time.Duration
+	failAfter    int
+	regions      int
+	killAfter    int
 }
 
 func (c runConfig) expectedArrivals() int {
@@ -152,6 +181,9 @@ func (c runConfig) expectedArrivals() int {
 func run(cfg runConfig) error {
 	if cfg.driveURL != "" {
 		return driveRemote(cfg)
+	}
+	if cfg.regions > 1 || cfg.follow != "" || cfg.region != "" || cfg.shards > 1 {
+		return runFederation(cfg)
 	}
 	if !cfg.selfdrive && cfg.httpAddr == "" {
 		return fmt.Errorf("nothing to do: pass -http to serve, -selfdrive to load-test in process, or -drive to load-test a remote daemon")

@@ -1,0 +1,166 @@
+// HTTP binding of the federation plane. The leader mounts /ship (manifest
+// and sealed-segment pulls) and /federation (role/term/lag status) behind
+// the admission server's mux via server.Handler's fallback chain, so one
+// port serves admission, shipping, and status. A follower daemon serves its
+// own small mux: /federation, /healthz (replication-stalled aware), and 503
+// on /admit until promotion.
+
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"edgerep/internal/journal"
+)
+
+// sealBytesHeader and sealCRCHeader let a puller double-check a segment
+// response against the manifest entry it asked for without re-reading the
+// manifest.
+const (
+	sealBytesHeader = "X-Edgerep-Seal-Bytes"
+	sealCRCHeader   = "X-Edgerep-Seal-CRC"
+)
+
+// LeaderStatus is the leader's /federation payload.
+type LeaderStatus struct {
+	Role       string `json:"role"`
+	Region     string `json:"region"`
+	Shard      int    `json:"shard"`
+	Shards     int    `json:"shards"`
+	Term       int64  `json:"term"`
+	LSN        int64  `json:"lsn"`
+	SealedSegs int    `json:"sealed_segments"`
+}
+
+// Handler returns the leader's federation routes (/ship, /federation), with
+// unknown paths delegated to fallback — pass ops.Handler() (or nil) and hang
+// the whole chain off server.Handler.
+func (l *Leader) Handler(fallback http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ship", l.shipHandler)
+	mux.HandleFunc("/federation", l.statusHandler)
+	if fallback != nil {
+		mux.Handle("/", fallback)
+	}
+	return mux
+}
+
+// shipHandler serves GET /ship (the manifest — also the heartbeat) and
+// GET /ship?seg=N (the raw bytes of sealed segment N, CRC-checked against
+// its seal before a byte leaves the process).
+func (l *Leader) shipHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if l.Dead() {
+		http.Error(w, "leader killed", http.StatusServiceUnavailable)
+		return
+	}
+	segParam := r.URL.Query().Get("seg")
+	if segParam == "" {
+		m, err := l.Manifest()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.Marshal(m)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return
+		}
+		return
+	}
+	idx, err := strconv.Atoi(segParam)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad seg %q", segParam), http.StatusBadRequest)
+		return
+	}
+	seal, ok := l.sealFor(idx)
+	if !ok {
+		http.Error(w, fmt.Sprintf("segment %d not sealed", idx), http.StatusNotFound)
+		return
+	}
+	data, err := journal.ReadSealedSegment(l.dir, seal)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(sealBytesHeader, strconv.FormatInt(seal.Bytes, 10))
+	w.Header().Set(sealCRCHeader, strconv.FormatUint(uint64(seal.CRC), 10))
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+// sealFor finds the seal for segment idx in the journal's sealed list.
+func (l *Leader) sealFor(idx int) (journal.SealInfo, bool) {
+	for _, seal := range l.jn.SealedSegments() {
+		if seal.Segment == idx {
+			return seal, true
+		}
+	}
+	return journal.SealInfo{}, false
+}
+
+// statusHandler serves the leader's /federation status.
+func (l *Leader) statusHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := LeaderStatus{
+		Role:       "leader",
+		Region:     l.cfg.Region,
+		Shard:      l.cfg.Shard,
+		Shards:     l.cfg.Shards,
+		Term:       l.srv.Term(),
+		LSN:        l.jn.LSN(),
+		SealedSegs: len(l.jn.SealedSegments()),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return
+	}
+}
+
+// FollowerHandler returns the standby daemon's route table: /federation
+// (replication status), /healthz (503 replication-stalled when ship retries
+// are exhausted), and a /admit that answers 503 — a follower never prices,
+// clients must talk to the leader until promotion swaps the handler.
+func (s *Standby) FollowerHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.HealthzHandler)
+	mux.HandleFunc("/admit", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "follower: not serving admissions", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/federation", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(s.Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return
+		}
+	})
+	return mux
+}

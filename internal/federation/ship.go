@@ -1,0 +1,156 @@
+// WAL shipping: followers PULL from the leader. Pull keeps the leader's
+// write path oblivious to replication (it only ever seals segments, which
+// rotation does anyway) and makes resume trivial — the follower remembers
+// the last segment it applied and asks for the next, so a restarted or
+// lagging follower needs no leader-side cursor. Every pulled segment is
+// re-verified against the seal's CRC before a single record is replayed.
+
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"edgerep/internal/journal"
+	"edgerep/internal/retry"
+)
+
+// Transport is how a standby reaches its leader: a heartbeat-bearing
+// manifest poll plus sealed-segment fetches. Implementations retry
+// internally, so a returned error means the retries were exhausted — the
+// standby counts it as a missed heartbeat and marks replication stalled
+// (surfaced on its /healthz) until a sync succeeds again.
+type Transport interface {
+	Manifest() (Manifest, error)
+	Segment(seal journal.SealInfo) ([]byte, error)
+}
+
+// LeaderTransport ships in-process from a Leader in the same address space —
+// the drill's fast path and the unit tests' harness. A killed leader answers
+// like a dead TCP endpoint: every call errors.
+type LeaderTransport struct {
+	Leader *Leader
+}
+
+// Manifest implements Transport.
+func (t *LeaderTransport) Manifest() (Manifest, error) { return t.Leader.Manifest() }
+
+// Segment implements Transport: reads the sealed segment straight from the
+// leader's journal directory with full CRC verification.
+func (t *LeaderTransport) Segment(seal journal.SealInfo) ([]byte, error) {
+	if t.Leader.Dead() {
+		return nil, fmt.Errorf("federation: leader %s is dead", t.Leader.Region())
+	}
+	return journal.ReadSealedSegment(t.Leader.Dir(), seal)
+}
+
+// HTTPTransport ships over the leader's /ship endpoint with retry/backoff
+// under a per-call deadline budget. Transient faults (a leader mid-restart,
+// a congested WAN hop) are absorbed by the retry runner; every failed
+// attempt bumps the ship-retry counter via the policy's Notify hook, so
+// operators see flakiness long before it exhausts a budget.
+type HTTPTransport struct {
+	// Base is the leader's base URL (http://host:port).
+	Base string
+	// Budget bounds each Manifest/Segment call end to end; 0 means 2s.
+	Budget time.Duration
+	// Policy shapes the retries; the zero value uses NewHTTPTransport's
+	// defaults.
+	Policy retry.Policy
+	// Client performs the requests; nil means a 5s-timeout default.
+	Client *http.Client
+}
+
+// NewHTTPTransport builds the production transport: 5 attempts under a 2s
+// budget with 50ms initial backoff, every failed attempt counted on
+// federation.ship_retries.
+func NewHTTPTransport(base string, budget time.Duration) *HTTPTransport {
+	return &HTTPTransport{
+		Base:   base,
+		Budget: budget,
+		Policy: retry.Policy{
+			Base:        50 * time.Millisecond,
+			Cap:         500 * time.Millisecond,
+			Multiplier:  2,
+			MaxAttempts: 5,
+			Notify:      func(int, error) { statShipRetries.Inc() },
+		},
+	}
+}
+
+func (t *HTTPTransport) budget() time.Duration {
+	if t.Budget > 0 {
+		return t.Budget
+	}
+	return 2 * time.Second
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (t *HTTPTransport) policy() retry.Policy {
+	p := t.Policy
+	if p.MaxAttempts == 0 && p.Base == 0 {
+		p = NewHTTPTransport(t.Base, t.Budget).Policy
+	}
+	if p.Notify == nil {
+		p.Notify = func(int, error) { statShipRetries.Inc() }
+	}
+	return p
+}
+
+// get fetches path under the retry budget and returns the response body.
+func (t *HTTPTransport) get(path string) ([]byte, error) {
+	runner := retry.Runner{Policy: t.policy()}
+	var body []byte
+	err := runner.Run(t.budget(), func(int, time.Duration) error {
+		resp, err := t.client().Get(t.Base + path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return fmt.Errorf("federation: %s answered %d: %s", path, resp.StatusCode, msg)
+		}
+		body, err = io.ReadAll(resp.Body)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Manifest implements Transport.
+func (t *HTTPTransport) Manifest() (Manifest, error) {
+	body, err := t.get("/ship")
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Manifest{}, fmt.Errorf("federation: decode manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Segment implements Transport: fetches the raw sealed bytes and verifies
+// length and CRC against the seal before handing them to the replayer.
+func (t *HTTPTransport) Segment(seal journal.SealInfo) ([]byte, error) {
+	body, err := t.get(fmt.Sprintf("/ship?seg=%d", seal.Segment))
+	if err != nil {
+		return nil, err
+	}
+	if err := journal.VerifySealedBytes(body, seal); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

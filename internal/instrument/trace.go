@@ -69,6 +69,17 @@ const (
 	// ReasonRepaired: robustness — annotates a repair event: the replica or
 	// assignment was re-established on a surviving node after a crash.
 	ReasonRepaired Reason = "repaired"
+	// ReasonLeaderFailover: federation — the offer raced a leadership change:
+	// it was in flight (or re-presented with a stale term) when the region's
+	// leader died, and the new leader fenced it rather than risk a double
+	// admit. The client re-offers under the new term and gets a fresh priced
+	// decision.
+	ReasonLeaderFailover Reason = "leader-failover"
+	// ReasonReplicationStalled: federation — the follower's WAL shipping
+	// retries exhausted their deadline budget; the standby is no longer
+	// keeping up with the leader and /healthz degrades until a ship round
+	// succeeds again.
+	ReasonReplicationStalled Reason = "replication-stalled"
 )
 
 // Trace event kinds.

@@ -39,6 +39,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgerep/internal/instrument"
@@ -93,8 +95,18 @@ type Journal struct {
 	f        *os.File
 	segIndex int
 	segSize  int64
-	lsn      int64
-	err      error // sticky: after a write error the journal refuses appends
+	// segCRC is the running CRC32 of the active segment's bytes, maintained
+	// incrementally so rotation can seal the segment without re-reading it.
+	segCRC uint32
+	// lsn is atomic for the same reason seals are mutex-guarded: the WAL
+	// shipper's manifest reads the leader's position concurrently with the
+	// single-writer append path.
+	lsn atomic.Int64
+	err error // sticky: after a write error the journal refuses appends
+	// sealMu guards seals: the one piece of journal state read by other
+	// goroutines (WAL shippers list sealed segments while the owner appends).
+	sealMu sync.Mutex
+	seals  []SealInfo
 	// lastSyncNs is the duration of the most recent Append's fsync, measured
 	// via the sanctioned monotonic clock only while latency attribution is
 	// active (instrument.AttributionActive); it lets the serving layer split
@@ -305,6 +317,7 @@ func Open(dir string, opt Options) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: scan %s: %w", dir, err)
 	}
+	closed := make(map[int]sealSource, len(segs))
 	for i, idx := range segs {
 		if i > 0 && idx != segs[i-1]+1 {
 			return nil, fmt.Errorf("journal: segment gap between %d and %d: %w", segs[i-1], idx, ErrCorrupt)
@@ -323,9 +336,13 @@ func Open(dir string, opt Options) (*Journal, error) {
 				return nil, fmt.Errorf("journal: truncate torn tail of segment %d: %w", idx, err)
 			}
 		}
-		j.lsn += int64(len(recs))
+		j.lsn.Add(int64(len(recs)))
 		j.segIndex = idx
 		j.segSize = int64(consumed)
+		j.segCRC = crc32.ChecksumIEEE(data[:consumed])
+		if i != len(segs)-1 {
+			closed[idx] = sealSource{bytes: int64(consumed), crc: j.segCRC}
+		}
 	}
 	if j.segIndex == 0 {
 		j.segIndex = 1
@@ -341,12 +358,18 @@ func Open(dir string, opt Options) (*Journal, error) {
 		}
 		return nil, err
 	}
+	if err := j.backfillSeals(closed); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("journal: close after failed seal backfill: %w", cerr)
+		}
+		return nil, err
+	}
 	return j, nil
 }
 
 // LSN returns the log sequence number of the last appended record (0 when
-// the journal is empty).
-func (j *Journal) LSN() int64 { return j.lsn }
+// the journal is empty). Safe to read concurrently with Append.
+func (j *Journal) LSN() int64 { return j.lsn.Load() }
 
 // Dir returns the journal's directory.
 func (j *Journal) Dir() string { return j.dir }
@@ -376,6 +399,7 @@ func (j *Journal) Append(payload []byte) (int64, error) {
 		j.err = fmt.Errorf("journal: append: %w", err)
 		return 0, j.err
 	}
+	j.segCRC = crc32.Update(j.segCRC, crc32.IEEETable, frame)
 	j.lastSyncNs = 0
 	if !j.opt.NoSync {
 		attributed := instrument.AttributionActive()
@@ -392,15 +416,18 @@ func (j *Journal) Append(payload []byte) (int64, error) {
 		}
 	}
 	j.segSize += int64(len(frame))
-	j.lsn++
-	return j.lsn, nil
+	return j.lsn.Add(1), nil
 }
 
 // LastSyncNs returns the fsync duration of the most recent Append — nonzero
 // only while latency attribution is active and the journal syncs per append.
 func (j *Journal) LastSyncNs() int64 { return j.lastSyncNs }
 
-// rotate closes the active segment and starts the next one.
+// rotate closes the active segment, starts the next one, and publishes a
+// durable seal for the closed segment. The seal goes last: a crash after the
+// new segment exists but before its predecessor's seal lands leaves an
+// unsealed closed segment, which the next Open backfills — shippers only
+// ever see the seal once the sealed bytes are already immutable on disk.
 func (j *Journal) rotate() error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync before rotate: %w", err)
@@ -408,6 +435,7 @@ func (j *Journal) rotate() error {
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("journal: close segment %d: %w", j.segIndex, err)
 	}
+	sealedIndex, sealedSize, sealedCRC := j.segIndex, j.segSize, j.segCRC
 	j.segIndex++
 	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.segIndex)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -415,7 +443,11 @@ func (j *Journal) rotate() error {
 	}
 	j.f = f
 	j.segSize = 0
-	return j.syncDir()
+	j.segCRC = 0
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	return j.publishSeal(sealedIndex, sealedSize, sealedCRC)
 }
 
 // Snapshot writes payload as the checksummed state snapshot at the current
@@ -452,7 +484,7 @@ func (j *Journal) Snapshot(payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("journal: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(j.dir, snapName(j.lsn))); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(j.dir, snapName(j.lsn.Load()))); err != nil {
 		return fmt.Errorf("journal: publish snapshot: %w", err)
 	}
 	return j.syncDir()

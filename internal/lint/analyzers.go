@@ -530,14 +530,16 @@ var instrReg = &Analyzer{
 // robustness reasons (node-crashed, retry-exhausted, repaired), which are the
 // ones most tempting to spell out by hand in failover code.
 var reasonVocabulary = map[string]string{
-	"deadline-violated":  "instrument.ReasonDeadline",
-	"capacity-exhausted": "instrument.ReasonCapacity",
-	"k-bound":            "instrument.ReasonKBound",
-	"disconnected":       "instrument.ReasonDisconnected",
-	"bundle-infeasible":  "instrument.ReasonBundleInfeasible",
-	"node-crashed":       "instrument.ReasonNodeCrashed",
-	"retry-exhausted":    "instrument.ReasonRetryExhausted",
-	"repaired":           "instrument.ReasonRepaired",
+	"deadline-violated":   "instrument.ReasonDeadline",
+	"capacity-exhausted":  "instrument.ReasonCapacity",
+	"k-bound":             "instrument.ReasonKBound",
+	"disconnected":        "instrument.ReasonDisconnected",
+	"bundle-infeasible":   "instrument.ReasonBundleInfeasible",
+	"node-crashed":        "instrument.ReasonNodeCrashed",
+	"retry-exhausted":     "instrument.ReasonRetryExhausted",
+	"repaired":            "instrument.ReasonRepaired",
+	"leader-failover":     "instrument.ReasonLeaderFailover",
+	"replication-stalled": "instrument.ReasonReplicationStalled",
 }
 
 // reasonHint appends the vocabulary lookup to a tracereason message: a

@@ -83,7 +83,11 @@ var ackOrder = &Analyzer{
 						}
 					case *ast.CallExpr:
 						switch calleeName(v) {
-						case "Offer", "Append":
+						case "Offer", "Append", "dispatch":
+							// dispatch blocks until every enqueued request's
+							// priced result comes back (the receive lives one
+							// call deep), so its return dominates like a
+							// receive.
 							dominators = append(dominators, v.Pos())
 						case "Encode":
 							if len(v.Args) == 1 && r.isAdmitResponse(v.Args[0]) {
@@ -168,7 +172,7 @@ func (r *Repo) isAdmitResponse(e ast.Expr) bool {
 
 // goroPkgs are the long-running serving packages where a leaked goroutine
 // outlives drains and fails the testbed's shutdown determinism.
-var goroPkgs = []string{"internal/server", "internal/testbed", "internal/ops"}
+var goroPkgs = []string{"internal/server", "internal/testbed", "internal/ops", "internal/federation"}
 
 // goroExit requires every `go` statement in the serving packages to show
 // join-or-bound evidence in the launched function: a WaitGroup/context

@@ -8,8 +8,9 @@
 // determinism/concurrency contracts: no unsorted map iteration feeding
 // deterministic output (maporder), no wall-clock reads in model-time
 // packages (wallclock), journal-before-ack in internal/server (ackorder),
-// joined/bounded goroutines (goroexit), and lock/unlock discipline
-// (lockdiscipline).
+// joined/bounded goroutines (goroexit), lock/unlock discipline
+// (lockdiscipline), and term fencing before admission intake in the
+// federation handlers (termfence).
 //
 // The pass is type-aware: Load resolves the whole repository once with
 // go/types (see types.go), so analyzers match package identity — the actual
@@ -448,6 +449,7 @@ func Analyzers() []*Analyzer {
 		ackOrder,
 		goroExit,
 		lockDiscipline,
+		termFence,
 	}
 }
 

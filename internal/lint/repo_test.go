@@ -46,6 +46,7 @@ func TestAnalyzerInventory(t *testing.T) {
 		"seededrand", "distviacache", "infsentinel", "droppederr", "instrreg",
 		"tracereason", "pkgdoc",
 		"maporder", "wallclock", "ackorder", "goroexit", "lockdiscipline",
+		"termfence",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

@@ -1,0 +1,140 @@
+// termfence: the federation failover-fencing invariant as a static rule.
+// After a leader promotion, requests stamped with the old term must be
+// rejected at the door (409, ReasonLeaderFailover) BEFORE anything is
+// enqueued or journaled — otherwise a stale client and the new leader both
+// own the same capacity and the merged history double-admits. The dynamic
+// half of the guarantee lives in invariant.CheckFailover and the chaos
+// drill; this analyzer pins the code shape that makes it hold.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// fencedPkgs are the packages whose HTTP handlers feed the admission
+// pipeline and therefore must compare the request term first.
+var fencedPkgs = []string{"internal/server", "internal/federation"}
+
+func inFencedPkg(pkg string) bool {
+	for _, p := range fencedPkgs {
+		if pkg == p || hasPrefixDir(pkg, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// intakeCalls are the admission-intake steps a handler may reach: the batch
+// dispatcher, the queue insert, and the journal-bearing engine/journal
+// appends. Any of these before the term comparison lets a stale-term
+// request mutate durable state.
+var intakeCalls = map[string]bool{
+	"dispatch": true,
+	"enqueue":  true,
+	"Offer":    true,
+	"Append":   true,
+}
+
+// termFence requires every HTTP handler in internal/server and
+// internal/federation that reaches an admission intake (dispatch/enqueue/
+// Offer/Append) to call CheckTerm lexically first. Like ackorder, dominance
+// is approximated by lexical order within the handler scope — exact for the
+// straight-line early-return handler shapes this repo writes.
+var termFence = &Analyzer{
+	Name: "termfence",
+	Doc:  "HTTP handlers in server/federation must CheckTerm before dispatch/enqueue/Offer/Append, so stale-term requests are fenced before anything is journaled",
+	Run: func(r *Repo) []Finding {
+		var out []Finding
+		for _, f := range r.Files {
+			if f.IsTest || !inFencedPkg(f.Pkg) {
+				continue
+			}
+			httpName := importName(f.AST, "net/http")
+			if httpName == "" {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				var body *ast.BlockStmt
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					ft, body = v.Type, v.Body
+				case *ast.FuncLit:
+					ft, body = v.Type, v.Body
+				default:
+					return true
+				}
+				if body == nil || !isHandlerSig(ft, httpName) {
+					return true
+				}
+				out = append(out, fenceFindings(r, body)...)
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// isHandlerSig reports whether ft takes a *http.Request parameter — the
+// shape shared by http.HandlerFunc and ServeHTTP methods.
+func isHandlerSig(ft *ast.FuncType, httpName string) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Request" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == httpName {
+			return true
+		}
+	}
+	return false
+}
+
+// fenceFindings checks one handler scope: every intake call must be
+// lexically preceded by a CheckTerm call in the same scope.
+func fenceFindings(r *Repo, body *ast.BlockStmt) []Finding {
+	var fences []token.Pos
+	type intake struct {
+		pos  token.Pos
+		name string
+	}
+	var intakes []intake
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name := calleeName(call); {
+		case name == "CheckTerm":
+			fences = append(fences, call.Pos())
+		case intakeCalls[name]:
+			intakes = append(intakes, intake{call.Pos(), name})
+		}
+		return true
+	})
+	var out []Finding
+	for _, in := range intakes {
+		fenced := false
+		for _, fp := range fences {
+			if fp < in.pos {
+				fenced = true
+				break
+			}
+		}
+		if !fenced {
+			out = append(out, Finding{Pos: r.Fset.Position(in.pos), Analyzer: "termfence",
+				Message: fmt.Sprintf("admission intake %s() is not preceded by a CheckTerm fence in this handler; a stale-term request must be answered 409 leader-failover before anything is enqueued or journaled", in.name)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// init merges the termfence fixtures into the shared table so
+// TestAnalyzerFixtures runs them and TestFixturesCoverEveryAnalyzer sees
+// the analyzer covered.
+func init() { fixtures = append(fixtures, termFixtures...) }
+
+// termFixtures exercise the termfence analyzer in isolation: handlers in
+// the fenced packages that reach an admission intake must compare the
+// request term first.
+var termFixtures = []fixture{
+	{
+		name:     "unfenced dispatch in handler flagged",
+		analyzer: "termfence",
+		filename: "internal/server/fix.go",
+		src: `package server
+import "net/http"
+type srv struct{}
+func (s *srv) dispatch(b []byte) error   { return nil }
+func (s *srv) CheckTerm(t int64) error   { return nil }
+func (s *srv) admit(w http.ResponseWriter, r *http.Request) {
+	if err := s.dispatch(nil); err != nil {
+		http.Error(w, err.Error(), 500)
+	}
+}
+`,
+		wantSub: "not preceded by a CheckTerm fence",
+	},
+	{
+		name:     "fence after the intake flagged",
+		analyzer: "termfence",
+		filename: "internal/federation/fix.go",
+		src: `package federation
+import "net/http"
+type srv struct{}
+func (s *srv) enqueue(b []byte) error  { return nil }
+func (s *srv) CheckTerm(t int64) error { return nil }
+func (s *srv) admit(w http.ResponseWriter, r *http.Request) {
+	_ = s.enqueue(nil)
+	_ = s.CheckTerm(1)
+}
+`,
+		wantSub: "enqueue()",
+	},
+	{
+		name:     "fence before the intake ok",
+		analyzer: "termfence",
+		filename: "internal/server/fix.go",
+		src: `package server
+import "net/http"
+type srv struct{}
+func (s *srv) dispatch(b []byte) error  { return nil }
+func (s *srv) CheckTerm(t int64) error  { return nil }
+func (s *srv) admit(w http.ResponseWriter, r *http.Request) {
+	if err := s.CheckTerm(2); err != nil {
+		http.Error(w, "stale term", http.StatusConflict)
+		return
+	}
+	_ = s.dispatch(nil)
+}
+`,
+	},
+	{
+		name:     "non-handler intake function not a handler's problem",
+		analyzer: "termfence",
+		filename: "internal/server/fix.go",
+		src: `package server
+type srv struct{}
+func (s *srv) enqueue(b []byte) error { return nil }
+func (s *srv) submit(b []byte) error  { return s.enqueue(b) }
+`,
+	},
+	{
+		name:     "handler without intake ok",
+		analyzer: "termfence",
+		filename: "internal/federation/fix.go",
+		src: `package federation
+import "net/http"
+func status(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+`,
+	},
+	{
+		name:     "packages outside the fence exempt",
+		analyzer: "termfence",
+		filename: "internal/ops/fix.go",
+		src: `package ops
+import "net/http"
+type srv struct{}
+func (s *srv) dispatch(b []byte) error { return nil }
+func (s *srv) admit(w http.ResponseWriter, r *http.Request) {
+	_ = s.dispatch(nil)
+}
+`,
+	},
+	{
+		name:     "handler literal flagged too",
+		analyzer: "termfence",
+		filename: "internal/server/fix.go",
+		src: `package server
+import "net/http"
+type srv struct{}
+func (s *srv) dispatch(b []byte) error { return nil }
+func (s *srv) mount(mux *http.ServeMux) {
+	mux.HandleFunc("/admit", func(w http.ResponseWriter, r *http.Request) {
+		_ = s.dispatch(nil)
+	})
+}
+`,
+		wantSub: "dispatch()",
+	},
+}
+
+// TestTermFenceCatchesUnfencedAdmitHandler mutates the REAL admit handler:
+// pristine internal/server/http.go must pass, and the same file with its
+// CheckTerm comparison neutralized must be flagged — proving the analyzer
+// guards the exact code path the failover drill depends on.
+func TestTermFenceCatchesUnfencedAdmitHandler(t *testing.T) {
+	const path = "../../internal/server/http.go"
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading server source: %v", err)
+	}
+	pristine, err := NewRepoFromSource("internal/server/http.go", string(src))
+	if err != nil {
+		t.Fatalf("http.go does not parse: %v", err)
+	}
+	if findings := pristine.Run([]*Analyzer{ByName("termfence")}); len(findings) != 0 {
+		t.Fatalf("pristine http.go already flagged: %v", findings)
+	}
+
+	mutated := strings.Replace(string(src), "s.CheckTerm(req.Term)", "error(nil)", 1)
+	if mutated == string(src) {
+		t.Fatal("admit handler no longer calls s.CheckTerm(req.Term); update this mutation")
+	}
+	scratch, err := NewRepoFromSource("internal/server/http.go", mutated)
+	if err != nil {
+		t.Fatalf("mutated http.go does not parse: %v", err)
+	}
+	findings := scratch.Run([]*Analyzer{ByName("termfence")})
+	for _, f := range findings {
+		if f.Analyzer == "termfence" && strings.Contains(f.Message, "dispatch()") {
+			return
+		}
+	}
+	t.Fatalf("CheckTerm fence removed from the admit handler, but termfence stayed silent; got: %v", findings)
+}

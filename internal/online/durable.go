@@ -312,32 +312,11 @@ func (e *Engine) journalRestore(v graph.NodeID) error {
 // already been dropped by journal.Load — the lost record was never
 // acknowledged, so the recovered engine is simply the state before it.
 func Recover(p *placement.Problem, expectedArrivals int, opt Options, st *journal.State) (*Engine, error) {
-	stripped := opt
-	stripped.Journal = nil
-	e := NewEngine(p, expectedArrivals, stripped)
-	e.replaying = true
-	start := int64(0)
-	if st.Snapshot != nil {
-		var dump EngineState
-		if err := json.Unmarshal(st.Snapshot, &dump); err != nil {
-			return nil, fmt.Errorf("online: decode snapshot at LSN %d: %w", st.SnapshotLSN, err)
-		}
-		e.loadState(&dump)
-		start = st.SnapshotLSN
+	r, err := NewRehydrator(p, expectedArrivals, opt, st)
+	if err != nil {
+		return nil, err
 	}
-	for i := start; i < int64(len(st.Records)); i++ {
-		var rec JournalRecord
-		if err := json.Unmarshal(st.Records[i], &rec); err != nil {
-			return nil, fmt.Errorf("online: decode journal record %d: %w", i+1, err)
-		}
-		if err := e.replayRecord(i+1, &rec); err != nil {
-			return nil, err
-		}
-	}
-	e.replaying = false
-	e.jn = opt.Journal
-	e.snapEvery = opt.SnapshotEvery
-	return e, nil
+	return r.Promote(opt), nil
 }
 
 // replayRecord applies one journaled input and verifies the outcome.

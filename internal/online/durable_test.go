@@ -1,4 +1,4 @@
-package online
+package online_test
 
 import (
 	"errors"
@@ -8,13 +8,14 @@ import (
 	"edgerep/internal/graph"
 	"edgerep/internal/invariant"
 	"edgerep/internal/journal"
+	"edgerep/internal/online"
 	"edgerep/internal/workload"
 )
 
 // script is a deterministic mixed input sequence: offers at 10s spacing with
 // finite holds, a crash of the busiest node partway, a restore, then more
 // offers. It drives eng and returns the crash victim.
-func script(t *testing.T, eng *Engine, nq int, crashAfter int) graph.NodeID {
+func script(t *testing.T, eng *online.Engine, nq int, crashAfter int) graph.NodeID {
 	t.Helper()
 	victim := graph.NodeID(-1)
 	at := 0.0
@@ -32,7 +33,7 @@ func script(t *testing.T, eng *Engine, nq int, crashAfter int) graph.NodeID {
 				t.Fatal(err)
 			}
 		}
-		if _, err := eng.Offer(Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 120}); err != nil {
+		if _, err := eng.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 120}); err != nil {
 			t.Fatal(err)
 		}
 		at += 10
@@ -43,22 +44,22 @@ func script(t *testing.T, eng *Engine, nq int, crashAfter int) graph.NodeID {
 // runJournaled drives the script against a journaled engine and an
 // unjournaled reference over the same problem, returning both plus the
 // journal directory. snapEvery 0 means WAL-only.
-func runJournaled(t *testing.T, seed int64, nq, crashAfter, snapEvery int) (dir string, journaled, reference *Engine) {
+func runJournaled(t *testing.T, seed int64, nq, crashAfter, snapEvery int) (dir string, journaled, reference *online.Engine) {
 	t.Helper()
 	dir = t.TempDir()
 	j, err := journal.Open(dir, journal.Options{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, w := problem(t, seed, nq)
-	journaled = NewEngine(p, len(w.Queries), Options{Journal: j, SnapshotEvery: snapEvery})
+	p, w := online.NewTestProblem(t, seed, nq)
+	journaled = online.NewEngine(p, len(w.Queries), online.Options{Journal: j, SnapshotEvery: snapEvery})
 	v1 := script(t, journaled, nq, crashAfter)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	p2, _ := problem(t, seed, nq)
-	reference = NewEngine(p2, len(w.Queries), Options{})
+	p2, _ := online.NewTestProblem(t, seed, nq)
+	reference = online.NewEngine(p2, len(w.Queries), online.Options{})
 	v2 := script(t, reference, nq, crashAfter)
 	if v1 != v2 {
 		t.Fatalf("nondeterministic script: victims %d vs %d", v1, v2)
@@ -66,14 +67,14 @@ func runJournaled(t *testing.T, seed int64, nq, crashAfter, snapEvery int) (dir 
 	return dir, journaled, reference
 }
 
-func recoverFrom(t *testing.T, dir string, seed int64, nq int) *Engine {
+func recoverFrom(t *testing.T, dir string, seed int64, nq int) *online.Engine {
 	t.Helper()
 	st, err := journal.Load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, w := problem(t, seed, nq)
-	e, err := Recover(p, len(w.Queries), Options{}, st)
+	p, w := online.NewTestProblem(t, seed, nq)
+	e, err := online.Recover(p, len(w.Queries), online.Options{}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +120,8 @@ func TestRecoverTornTailIsPrefixRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, w := problem(t, 5, nq)
-	e := NewEngine(p, len(w.Queries), Options{Journal: j, SnapshotEvery: 6})
+	p, w := online.NewTestProblem(t, 5, nq)
+	e := online.NewEngine(p, len(w.Queries), online.Options{Journal: j, SnapshotEvery: 6})
 	script(t, e, nq, crashAfter)
 	if err := j.TearTail([]byte(`{"kind":"offer","at":9e9,"query":0,"node":-1}`)); err != nil {
 		t.Fatal(err)
@@ -137,15 +138,15 @@ func TestRecoverTornTailIsPrefixRun(t *testing.T) {
 		t.Fatal("torn tail not detected")
 	}
 	survivors := len(st.Records)
-	p2, _ := problem(t, 5, nq)
-	recovered, err := Recover(p2, len(w.Queries), Options{}, st)
+	p2, _ := online.NewTestProblem(t, 5, nq)
+	recovered, err := online.Recover(p2, len(w.Queries), online.Options{}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Reference: the same script truncated to the surviving record count.
-	p3, _ := problem(t, 5, nq)
-	reference := NewEngine(p3, len(w.Queries), Options{})
+	p3, _ := online.NewTestProblem(t, 5, nq)
+	reference := online.NewEngine(p3, len(w.Queries), online.Options{})
 	applied := 0
 	at := 0.0
 	for i := 0; i < nq && applied < survivors; i++ {
@@ -166,7 +167,7 @@ func TestRecoverTornTailIsPrefixRun(t *testing.T) {
 				break
 			}
 		}
-		if _, err := reference.Offer(Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 120}); err != nil {
+		if _, err := reference.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 120}); err != nil {
 			t.Fatal(err)
 		}
 		applied++
@@ -186,10 +187,10 @@ func TestRecoverResumesJournaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, w := problem(t, 3, nq)
-	e := NewEngine(p, len(w.Queries), Options{Journal: j})
+	p, w := online.NewTestProblem(t, 3, nq)
+	e := online.NewEngine(p, len(w.Queries), online.Options{Journal: j})
 	for i := 0; i < nq/2; i++ {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -208,13 +209,13 @@ func TestRecoverResumesJournaling(t *testing.T) {
 	if j2.LSN() != int64(nq/2) {
 		t.Fatalf("reopened journal at LSN %d, want %d", j2.LSN(), nq/2)
 	}
-	p2, _ := problem(t, 3, nq)
-	e2, err := Recover(p2, len(w.Queries), Options{Journal: j2}, st)
+	p2, _ := online.NewTestProblem(t, 3, nq)
+	e2, err := online.Recover(p2, len(w.Queries), online.Options{Journal: j2}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := nq / 2; i < nq; i++ {
-		if _, err := e2.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
+		if _, err := e2.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -229,15 +230,15 @@ func TestRecoverResumesJournaling(t *testing.T) {
 	if len(st2.Records) != nq {
 		t.Fatalf("combined journal has %d records, want %d", len(st2.Records), nq)
 	}
-	p3, _ := problem(t, 3, nq)
-	final, err := Recover(p3, len(w.Queries), Options{}, st2)
+	p3, _ := online.NewTestProblem(t, 3, nq)
+	final, err := online.Recover(p3, len(w.Queries), online.Options{}, st2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p4, _ := problem(t, 3, nq)
-	reference := NewEngine(p4, len(w.Queries), Options{})
+	p4, _ := online.NewTestProblem(t, 3, nq)
+	reference := online.NewEngine(p4, len(w.Queries), online.Options{})
 	for i := 0; i < nq; i++ {
-		if _, err := reference.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
+		if _, err := reference.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: 120}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -255,12 +256,12 @@ func TestRecoverDivergenceDetected(t *testing.T) {
 	// Replaying against a DIFFERENT problem (other seed) must not silently
 	// fabricate state: either an input is outright inapplicable or an
 	// outcome mismatches — both surface as errors, the latter typed.
-	p, w := problem(t, 14, 25)
-	if _, err := Recover(p, len(w.Queries), Options{}, st); err == nil {
+	p, w := online.NewTestProblem(t, 14, 25)
+	if _, err := online.Recover(p, len(w.Queries), online.Options{}, st); err == nil {
 		t.Fatal("recovery against a different problem succeeded")
 	}
 
-	// Tampering with a recorded outcome is caught as ErrDivergent: flip the
+	// Tampering with a recorded outcome is caught as online.ErrDivergent: flip the
 	// first admit outcome to a reject.
 	st2, err := journal.Load(dir)
 	if err != nil {
@@ -278,9 +279,9 @@ func TestRecoverDivergenceDetected(t *testing.T) {
 	if !tampered {
 		t.Fatal("no admit record found to tamper with")
 	}
-	p2, w2 := problem(t, 13, 25)
-	if _, err := Recover(p2, len(w2.Queries), Options{}, st2); !errors.Is(err, ErrDivergent) {
-		t.Fatalf("tampered journal: err=%v, want ErrDivergent", err)
+	p2, w2 := online.NewTestProblem(t, 13, 25)
+	if _, err := online.Recover(p2, len(w2.Queries), online.Options{}, st2); !errors.Is(err, online.ErrDivergent) {
+		t.Fatalf("tampered journal: err=%v, want online.ErrDivergent", err)
 	}
 }
 
@@ -293,9 +294,9 @@ func TestStateDumpRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dump := e.StateDump()
-	p2, _ := problem(t, 21, 30)
-	e2 := NewEngine(p2, len(w.Queries), Options{})
-	e2.loadState(dump)
+	p2, _ := online.NewTestProblem(t, 21, 30)
+	e2 := online.NewEngine(p2, len(w.Queries), online.Options{})
+	e2.TestLoadState(dump)
 	if err := invariant.CheckRecovered(e2.StateDump(), e.StateDump()); err != nil {
 		t.Fatal(err)
 	}

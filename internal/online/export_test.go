@@ -1,0 +1,55 @@
+// Test-only windows into unexported engine state. The behavioral tests for
+// this package live in the black-box online_test package — they assert with
+// internal/invariant, whose failover audit imports online, so hosting them
+// in-package would be an import cycle — and these shims are what they need
+// beyond the public API.
+
+package online
+
+import (
+	"testing"
+
+	"edgerep/internal/cluster"
+	"edgerep/internal/graph"
+	"edgerep/internal/placement"
+	"edgerep/internal/topology"
+	"edgerep/internal/workload"
+)
+
+// NewTestProblem generates the canonical test instance: default topology and
+// workload at the given seed, nq queries over 10 datasets, K=3.
+func NewTestProblem(t testing.TB, seed int64, nq int) (*placement.Problem, *workload.Workload) {
+	t.Helper()
+	tc := topology.DefaultConfig()
+	tc.Seed = seed
+	top := topology.MustGenerate(tc)
+	wc := workload.DefaultConfig()
+	wc.Seed = seed
+	wc.NumDatasets = 10
+	wc.NumQueries = nq
+	wc.MaxDatasetsPerQuery = 4
+	w := workload.MustGenerate(wc, top)
+	p, err := placement.NewProblem(cluster.New(top), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w
+}
+
+// TestProblem returns the problem the engine prices against.
+func (e *Engine) TestProblem() *placement.Problem { return e.p }
+
+// TestUsedGHz returns the engine's current allocation on v.
+func (e *Engine) TestUsedGHz(v graph.NodeID) float64 { return e.usedGHz(v) }
+
+// TestReleaseNodes returns the node of every scheduled capacity release.
+func (e *Engine) TestReleaseNodes() []graph.NodeID {
+	nodes := make([]graph.NodeID, len(e.releases))
+	for i, r := range e.releases {
+		nodes[i] = r.node
+	}
+	return nodes
+}
+
+// TestLoadState installs a canonical state dump, as recovery does.
+func (e *Engine) TestLoadState(st *EngineState) { e.loadState(st) }

@@ -1,4 +1,4 @@
-package online
+package online_test
 
 import (
 	"math"
@@ -8,17 +8,18 @@ import (
 	"edgerep/internal/consistency"
 	"edgerep/internal/graph"
 	"edgerep/internal/invariant"
+	"edgerep/internal/online"
 	"edgerep/internal/workload"
 )
 
 // runAll offers every query at 10s spacing with the given hold and returns
 // the engine.
-func runAll(t *testing.T, seed int64, nq int, holdSec float64) (*Engine, *workload.Workload) {
+func runAll(t *testing.T, seed int64, nq int, holdSec float64) (*online.Engine, *workload.Workload) {
 	t.Helper()
-	p, w := problem(t, seed, nq)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, seed, nq)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	for i := range w.Queries {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: holdSec}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10, HoldSec: holdSec}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -26,13 +27,13 @@ func runAll(t *testing.T, seed int64, nq int, holdSec float64) (*Engine, *worklo
 }
 
 // busiestNode returns the node serving the most assignments in the solution.
-func busiestNode(e *Engine) graph.NodeID {
+func busiestNode(e *online.Engine) graph.NodeID {
 	count := make(map[graph.NodeID]int)
-	for _, a := range e.sol.Assignments {
+	for _, a := range e.Solution().Assignments {
 		count[a.Node]++
 	}
 	best, bestN := graph.NodeID(-1), 0
-	for _, v := range e.p.Cloud.ComputeNodes() {
+	for _, v := range e.TestProblem().Cloud.ComputeNodes() {
 		if count[v] > bestN {
 			best, bestN = v, count[v]
 		}
@@ -40,10 +41,10 @@ func busiestNode(e *Engine) graph.NodeID {
 	return best
 }
 
-func admittedVolume(e *Engine) float64 {
+func admittedVolume(e *online.Engine) float64 {
 	vol := 0.0
-	for _, q := range e.sol.Admitted {
-		vol += e.p.Queries[q].DemandedVolume(e.p.Datasets)
+	for _, q := range e.Solution().Admitted {
+		vol += e.TestProblem().Queries[q].DemandedVolume(e.TestProblem().Datasets)
 	}
 	return vol
 }
@@ -54,7 +55,7 @@ func TestCrashReleasesNodeState(t *testing.T) {
 	if v == -1 {
 		t.Fatal("no assignments")
 	}
-	usedBefore := e.usedGHz(v)
+	usedBefore := e.TestUsedGHz(v)
 	if usedBefore <= 0 {
 		t.Fatalf("busiest node %d has no load", v)
 	}
@@ -65,8 +66,8 @@ func TestCrashReleasesNodeState(t *testing.T) {
 	if !e.Liveness().IsDown(v) {
 		t.Fatal("node not marked down")
 	}
-	if e.usedGHz(v) != 0 {
-		t.Fatalf("crashed node still has %v GHz allocated", e.usedGHz(v))
+	if e.TestUsedGHz(v) != 0 {
+		t.Fatalf("crashed node still has %v GHz allocated", e.TestUsedGHz(v))
 	}
 	if rep.ReleasedGHz != usedBefore {
 		t.Fatalf("released %v GHz, node held %v", rep.ReleasedGHz, usedBefore)
@@ -74,19 +75,19 @@ func TestCrashReleasesNodeState(t *testing.T) {
 	if rep.LostReplicas == 0 {
 		t.Fatal("busiest node lost no replicas")
 	}
-	for n := range e.sol.Replicas {
-		if e.sol.HasReplica(n, v) {
+	for n := range e.Solution().Replicas {
+		if e.Solution().HasReplica(n, v) {
 			t.Fatalf("dataset %d still has a replica on the crashed node", n)
 		}
 	}
-	for _, a := range e.sol.Assignments {
+	for _, a := range e.Solution().Assignments {
 		if a.Node == v {
 			t.Fatalf("assignment %+v still points at the crashed node", a)
 		}
 	}
-	for _, r := range e.releases {
-		if r.node == v {
-			t.Fatalf("release %+v still scheduled on the crashed node", r)
+	for _, n := range e.TestReleaseNodes() {
+		if n == v {
+			t.Fatalf("release still scheduled on the crashed node %d", n)
 		}
 	}
 	// Crashing an already-down node is a no-op.
@@ -112,10 +113,10 @@ func TestCrashRepairKeepsPaperInvariants(t *testing.T) {
 	if rep.Repaired == 0 && len(rep.Evicted) == 0 {
 		t.Fatal("crash of the busiest node affected nothing")
 	}
-	if err := e.Solution().Validate(e.p); err != nil {
+	if err := e.Solution().Validate(e.TestProblem()); err != nil {
 		t.Fatalf("post-repair solution fails validation: %v", err)
 	}
-	if err := invariant.CheckSolution(e.p, e.Solution(), e.Result().VolumeAdmitted); err != nil {
+	if err := invariant.CheckSolution(e.TestProblem(), e.Solution(), e.Result().VolumeAdmitted); err != nil {
 		t.Fatalf("post-repair solution violates paper invariants: %v", err)
 	}
 	if got, want := e.Result().VolumeAdmitted, admittedVolume(e); math.Abs(got-want) > 1e-6 {
@@ -125,20 +126,20 @@ func TestCrashRepairKeepsPaperInvariants(t *testing.T) {
 
 func TestCrashEvictsWhenNoSurvivorCanServe(t *testing.T) {
 	e, _ := runAll(t, 13, 30, 0)
-	if len(e.sol.Admitted) == 0 {
+	if len(e.Solution().Admitted) == 0 {
 		t.Fatal("nothing admitted")
 	}
-	q := e.sol.Admitted[0]
+	q := e.Solution().Admitted[0]
 	// Crash every node that could feasibly serve any of q's demands; the
 	// final crash must evict it.
 	feasible := make(map[graph.NodeID]bool)
-	for _, dm := range e.p.Queries[q].Demands {
-		for _, v := range e.p.FeasibleNodes(q, dm.Dataset) {
+	for _, dm := range e.TestProblem().Queries[q].Demands {
+		for _, v := range e.TestProblem().FeasibleNodes(q, dm.Dataset) {
 			feasible[v] = true
 		}
 	}
 	at := 1e6
-	for _, v := range e.p.Cloud.ComputeNodes() {
+	for _, v := range e.TestProblem().Cloud.ComputeNodes() {
 		if feasible[v] {
 			if _, err := e.Crash(at, v); err != nil {
 				t.Fatal(err)
@@ -146,7 +147,7 @@ func TestCrashEvictsWhenNoSurvivorCanServe(t *testing.T) {
 			at++
 		}
 	}
-	if e.sol.IsAdmitted(q) {
+	if e.Solution().IsAdmitted(q) {
 		t.Fatalf("query %d still admitted with every feasible node down", q)
 	}
 	if e.Result().Evicted == 0 {
@@ -158,11 +159,11 @@ func TestCrashEvictsWhenNoSurvivorCanServe(t *testing.T) {
 }
 
 func TestCrashedNodeNotUsedForNewArrivals(t *testing.T) {
-	p, w := problem(t, 14, 60)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, 14, 60)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	half := len(w.Queries) / 2
 	for i := 0; i < half; i++ {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func TestCrashedNodeNotUsedForNewArrivals(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := half; i < len(w.Queries); i++ {
-		dec, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10})
+		dec, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i) * 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func TestCrashedNodeNotUsedForNewArrivals(t *testing.T) {
 }
 
 func TestCrashDeterministic(t *testing.T) {
-	run := func() (CrashReport, Result) {
+	run := func() (online.CrashReport, online.Result) {
 		e, _ := runAll(t, 15, 40, 0)
 		rep, err := e.Crash(1e6, busiestNode(e))
 		if err != nil {
@@ -211,15 +212,15 @@ func TestCrashDeterministic(t *testing.T) {
 
 func TestRepairAccountsConsistencyResync(t *testing.T) {
 	e, _ := runAll(t, 16, 40, 0)
-	m, err := consistency.NewManager(e.p.Cloud.Topology(), e.p.Datasets, e.Solution(), 0.5)
+	m, err := consistency.NewManager(e.TestProblem().Cloud.Topology(), e.TestProblem().Datasets, e.Solution(), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.AttachConsistency(m)
 	// Crash nodes until a repair has to open a fresh replica.
-	var rep CrashReport
+	var rep online.CrashReport
 	at := 1e6
-	for _, v := range e.p.Cloud.ComputeNodes() {
+	for _, v := range e.TestProblem().Cloud.ComputeNodes() {
 		r, err := e.Crash(at, v)
 		if err != nil {
 			t.Fatal(err)
@@ -247,18 +248,18 @@ func TestCrashActiveHoldsMoveCapacity(t *testing.T) {
 	// Short holds, then crash while holds are live: the repaired
 	// allocations must re-appear as load on surviving nodes and drain at
 	// the original expiry.
-	p, w := problem(t, 17, 30)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, 17, 30)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	for i := range w.Queries {
 		// All arrive close together with long holds so most are live.
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i), HoldSec: 1e5}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i), HoldSec: 1e5}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	v := busiestNode(e)
 	totalBefore := 0.0
-	for _, u := range e.p.Cloud.ComputeNodes() {
-		totalBefore += e.usedGHz(u)
+	for _, u := range e.TestProblem().Cloud.ComputeNodes() {
+		totalBefore += e.TestUsedGHz(u)
 	}
 	rep, err := e.Crash(float64(len(w.Queries)), v)
 	if err != nil {
@@ -268,26 +269,26 @@ func TestCrashActiveHoldsMoveCapacity(t *testing.T) {
 		t.Fatal("no live allocation on the busiest node")
 	}
 	totalAfter := 0.0
-	for _, u := range e.p.Cloud.ComputeNodes() {
-		totalAfter += e.usedGHz(u)
+	for _, u := range e.TestProblem().Cloud.ComputeNodes() {
+		totalAfter += e.TestUsedGHz(u)
 	}
 	// Everything repaired moved its GHz to survivors; evicted queries gave
 	// theirs back entirely.
 	if totalAfter > totalBefore+1e-9 {
 		t.Fatalf("total load grew across a crash: %v -> %v", totalBefore, totalAfter)
 	}
-	for _, r := range e.releases {
-		if r.node == v {
-			t.Fatalf("release still scheduled on crashed node: %+v", r)
+	for _, n := range e.TestReleaseNodes() {
+		if n == v {
+			t.Fatalf("release still scheduled on crashed node %d", n)
 		}
-		if e.live.IsDown(r.node) {
-			t.Fatalf("release scheduled on a down node: %+v", r)
+		if e.Liveness().IsDown(n) {
+			t.Fatalf("release scheduled on a down node %d", n)
 		}
 	}
 	// Capacity cap still respected everywhere.
-	for _, u := range e.p.Cloud.ComputeNodes() {
-		if e.usedGHz(u) > e.p.Cloud.Capacity(u)+1e-9 {
-			t.Fatalf("node %d over capacity after repair: %v > %v", u, e.usedGHz(u), e.p.Cloud.Capacity(u))
+	for _, u := range e.TestProblem().Cloud.ComputeNodes() {
+		if e.TestUsedGHz(u) > e.TestProblem().Cloud.Capacity(u)+1e-9 {
+			t.Fatalf("node %d over capacity after repair: %v > %v", u, e.TestUsedGHz(u), e.TestProblem().Cloud.Capacity(u))
 		}
 	}
 }

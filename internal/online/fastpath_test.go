@@ -18,7 +18,7 @@ import (
 // the pricing math they mirror.
 func TestFastPathEquivalence(t *testing.T) {
 	for _, seed := range []int64{3, 7, 21, 42} {
-		p, w := problem(t, seed, 80)
+		p, w := NewTestProblem(t, seed, 80)
 		fast := NewEngine(p, len(w.Queries), Options{})
 		slow := NewEngine(p, len(w.Queries), Options{NoFastPath: true})
 		if fast.fast == nil {
@@ -96,7 +96,7 @@ func TestFastPathEquivalence(t *testing.T) {
 // ci.sh runs this as a hard gate — a regression here is the GC pressure the
 // precomputed tables exist to eliminate.
 func TestFastPathZeroAlloc(t *testing.T) {
-	p, w := problem(t, 5, 120)
+	p, w := NewTestProblem(t, 5, 120)
 	e := NewEngine(p, len(w.Queries), Options{})
 
 	// Admitted path, measured before any state accumulates: planFast does
@@ -152,7 +152,7 @@ func BenchmarkFastPathPlan(b *testing.B) {
 		noFast bool
 	}{{"fast", false}, {"slow", true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			p, w := problem(b, 5, 120)
+			p, w := NewTestProblem(b, 5, 120)
 			e := NewEngine(p, len(w.Queries), Options{NoFastPath: mode.noFast})
 			var rejQ workload.QueryID = -1
 			for i := range w.Queries {
@@ -184,7 +184,7 @@ func BenchmarkFastPathPlan(b *testing.B) {
 // its table sizes and moving counters, a NoFastPath engine reports disabled
 // with the capacity shards still present.
 func TestFastPathStats(t *testing.T) {
-	p, w := problem(t, 6, 30)
+	p, w := NewTestProblem(t, 6, 30)
 	e := NewEngine(p, len(w.Queries), Options{})
 	st := e.FastPathStats()
 	if !st.Enabled || st.Tables == 0 || st.Candidates == 0 {

@@ -1,4 +1,4 @@
-package online
+package online_test
 
 import (
 	"math/rand"
@@ -8,35 +8,18 @@ import (
 	"edgerep/internal/cluster"
 	"edgerep/internal/core"
 	"edgerep/internal/invariant"
+	"edgerep/internal/online"
 	"edgerep/internal/placement"
 	"edgerep/internal/topology"
 	"edgerep/internal/workload"
 )
 
-func problem(t testing.TB, seed int64, nq int) (*placement.Problem, *workload.Workload) {
-	t.Helper()
-	tc := topology.DefaultConfig()
-	tc.Seed = seed
-	top := topology.MustGenerate(tc)
-	wc := workload.DefaultConfig()
-	wc.Seed = seed
-	wc.NumDatasets = 10
-	wc.NumQueries = nq
-	wc.MaxDatasetsPerQuery = 4
-	w := workload.MustGenerate(wc, top)
-	p, err := placement.NewProblem(cluster.New(top), w, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p, w
-}
-
 func TestOfferBasicAdmission(t *testing.T) {
-	p, w := problem(t, 1, 30)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, 1, 30)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	admitted := 0
 	for i := range w.Queries {
-		dec, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)})
+		dec, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,10 +46,10 @@ func TestOfferBasicAdmission(t *testing.T) {
 func TestHoldForeverMatchesOfflineCapacityModel(t *testing.T) {
 	// With HoldSec = 0 (never released), the online solution must satisfy
 	// the offline validator's capacity constraint.
-	p, w := problem(t, 2, 40)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, 2, 40)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	for i := range w.Queries {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,16 +64,16 @@ func TestHoldForeverMatchesOfflineCapacityModel(t *testing.T) {
 func TestCapacityReleasedAfterHold(t *testing.T) {
 	// Arrivals far apart with short holds: capacity is reused, so many
 	// more queries are admitted than the hold-forever run.
-	pHold, w := problem(t, 3, 60)
-	eHold := NewEngine(pHold, len(w.Queries), Options{})
-	pRel, _ := problem(t, 3, 60)
-	eRel := NewEngine(pRel, len(w.Queries), Options{})
+	pHold, w := online.NewTestProblem(t, 3, 60)
+	eHold := online.NewEngine(pHold, len(w.Queries), online.Options{})
+	pRel, _ := online.NewTestProblem(t, 3, 60)
+	eRel := online.NewEngine(pRel, len(w.Queries), online.Options{})
 	for i := range w.Queries {
 		at := float64(i) * 10
-		if _, err := eHold.Offer(Arrival{Query: workload.QueryID(i), AtSec: at}); err != nil {
+		if _, err := eHold.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: at}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eRel.Offer(Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 1}); err != nil {
+		if _, err := eRel.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: at, HoldSec: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,10 +109,10 @@ func TestCapacityReleasedAfterHold(t *testing.T) {
 }
 
 func TestReplicaBoundHeldOnline(t *testing.T) {
-	p, w := problem(t, 4, 50)
-	e := NewEngine(p, len(w.Queries), Options{})
+	p, w := online.NewTestProblem(t, 4, 50)
+	e := online.NewEngine(p, len(w.Queries), online.Options{})
 	for i := range w.Queries {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,15 +124,15 @@ func TestReplicaBoundHeldOnline(t *testing.T) {
 }
 
 func TestArrivalOrderEnforced(t *testing.T) {
-	p, _ := problem(t, 5, 10)
-	e := NewEngine(p, 10, Options{})
-	if _, err := e.Offer(Arrival{Query: 0, AtSec: 5}); err != nil {
+	p, _ := online.NewTestProblem(t, 5, 10)
+	e := online.NewEngine(p, 10, online.Options{})
+	if _, err := e.Offer(online.Arrival{Query: 0, AtSec: 5}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Offer(Arrival{Query: 1, AtSec: 3}); err == nil {
+	if _, err := e.Offer(online.Arrival{Query: 1, AtSec: 3}); err == nil {
 		t.Fatal("time-travel arrival accepted")
 	}
-	if _, err := e.Offer(Arrival{Query: workload.QueryID(99), AtSec: 6}); err == nil {
+	if _, err := e.Offer(online.Arrival{Query: workload.QueryID(99), AtSec: 6}); err == nil {
 		t.Fatal("unknown query accepted")
 	}
 }
@@ -159,15 +142,15 @@ func TestForecastImprovesOrMatchesLazy(t *testing.T) {
 	// on average when the forecast equals the actual workload.
 	var lazySum, foreSum float64
 	for seed := int64(1); seed <= 6; seed++ {
-		pLazy, w := problem(t, seed, 50)
-		eLazy := NewEngine(pLazy, len(w.Queries), Options{})
-		pFore, _ := problem(t, seed, 50)
-		eFore := NewEngine(pFore, len(w.Queries), Options{Forecast: w.Queries})
+		pLazy, w := online.NewTestProblem(t, seed, 50)
+		eLazy := online.NewEngine(pLazy, len(w.Queries), online.Options{})
+		pFore, _ := online.NewTestProblem(t, seed, 50)
+		eFore := online.NewEngine(pFore, len(w.Queries), online.Options{Forecast: w.Queries})
 		for i := range w.Queries {
-			if _, err := eLazy.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			if _, err := eLazy.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := eFore.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			if _, err := eFore.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -180,10 +163,10 @@ func TestForecastImprovesOrMatchesLazy(t *testing.T) {
 }
 
 func TestMaxUtilizationHeadroom(t *testing.T) {
-	p, w := problem(t, 7, 60)
-	e := NewEngine(p, len(w.Queries), Options{MaxUtilization: 0.5})
+	p, w := online.NewTestProblem(t, 7, 60)
+	e := online.NewEngine(p, len(w.Queries), online.Options{MaxUtilization: 0.5})
 	for i := range w.Queries {
-		if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+		if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -197,15 +180,15 @@ func TestMaxUtilizationHeadroom(t *testing.T) {
 func TestOfflineDominatesOnline(t *testing.T) {
 	var onSum, offSum float64
 	for seed := int64(1); seed <= 6; seed++ {
-		pOn, w := problem(t, seed, 50)
-		e := NewEngine(pOn, len(w.Queries), Options{})
+		pOn, w := online.NewTestProblem(t, seed, 50)
+		e := online.NewEngine(pOn, len(w.Queries), online.Options{})
 		for i := range w.Queries {
-			if _, err := e.Offer(Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
+			if _, err := e.Offer(online.Arrival{Query: workload.QueryID(i), AtSec: float64(i)}); err != nil {
 				t.Fatal(err)
 			}
 		}
 		onSum += e.Result().VolumeAdmitted
-		pOff, _ := problem(t, seed, 50)
+		pOff, _ := online.NewTestProblem(t, seed, 50)
 		res, err := core.ApproG(pOff, core.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -220,13 +203,13 @@ func TestOfflineDominatesOnline(t *testing.T) {
 // Property: for any arrival permutation, the engine never violates the
 // instantaneous capacity of any node.
 func TestInstantaneousCapacityProperty(t *testing.T) {
-	p, w := problem(t, 11, 40)
+	p, w := online.NewTestProblem(t, 11, 40)
 	f := func(permSeed int64) bool {
-		pp, _ := problem(t, 11, 40)
-		e := NewEngine(pp, len(w.Queries), Options{})
+		pp, _ := online.NewTestProblem(t, 11, 40)
+		e := online.NewEngine(pp, len(w.Queries), online.Options{})
 		order := rand.New(rand.NewSource(permSeed)).Perm(len(w.Queries))
 		for i, qi := range order {
-			dec, err := e.Offer(Arrival{Query: workload.QueryID(qi), AtSec: float64(i), HoldSec: 5})
+			dec, err := e.Offer(online.Arrival{Query: workload.QueryID(qi), AtSec: float64(i), HoldSec: 5})
 			if err != nil {
 				return false
 			}
@@ -258,9 +241,9 @@ func BenchmarkOnlineOffer(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		e := NewEngine(p, len(w.Queries), Options{})
+		e := online.NewEngine(p, len(w.Queries), online.Options{})
 		for qi := range w.Queries {
-			if _, err := e.Offer(Arrival{Query: workload.QueryID(qi), AtSec: float64(qi), HoldSec: 10}); err != nil {
+			if _, err := e.Offer(online.Arrival{Query: workload.QueryID(qi), AtSec: float64(qi), HoldSec: 10}); err != nil {
 				b.Fatal(err)
 			}
 		}

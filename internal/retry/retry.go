@@ -47,6 +47,12 @@ type Policy struct {
 	MaxAttempts int
 	// Seed drives the jitter hash; same Seed, same schedule.
 	Seed int64
+	// Notify, when non-nil, is called after every failed attempt with the
+	// 0-based attempt index and the attempt's error — before Run decides
+	// whether to back off or give up. Observability only: WAL shippers hook
+	// an instrument counter here so retries are visible on /metrics instead
+	// of silent. Notify must not block; it runs inline in the retry loop.
+	Notify func(attempt int, err error)
 }
 
 // Defaults for the zero Policy. Exported so callers and docs quote one
@@ -206,6 +212,9 @@ func (r Runner) Run(budget time.Duration, fn func(attempt int, remaining time.Du
 			return nil
 		}
 		lastErr = err
+		if p.Notify != nil {
+			p.Notify(attempt, err)
+		}
 		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
 			return fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
 		}

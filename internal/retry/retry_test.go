@@ -295,3 +295,57 @@ func TestDelayFloorOneNanosecond(t *testing.T) {
 		}
 	}
 }
+
+// TestNotifyHook checks Policy.Notify fires once per failed attempt, in
+// order, with the attempt's error — and not for the success.
+func TestNotifyHook(t *testing.T) {
+	var gotAttempts []int
+	var gotErrs []string
+	p := Policy{
+		Base:        time.Millisecond,
+		MaxAttempts: 5,
+		Notify: func(attempt int, err error) {
+			gotAttempts = append(gotAttempts, attempt)
+			gotErrs = append(gotErrs, err.Error())
+		},
+	}
+	fake := time.Unix(0, 0)
+	r := Runner{
+		Policy: p,
+		Now:    func() time.Time { return fake },
+		Sleep:  func(d time.Duration) { fake = fake.Add(d) },
+	}
+	calls := 0
+	err := r.Run(time.Hour, func(attempt int, remaining time.Duration) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("boom-%d", attempt)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(gotAttempts) != 2 || gotAttempts[0] != 0 || gotAttempts[1] != 1 {
+		t.Fatalf("notify attempts = %v, want [0 1]", gotAttempts)
+	}
+	if gotErrs[0] != "boom-0" || gotErrs[1] != "boom-1" {
+		t.Fatalf("notify errors = %v", gotErrs)
+	}
+}
+
+// TestNotifyHookOnExhaustion checks Notify still sees the terminal attempt
+// when the attempt cap stops the loop.
+func TestNotifyHookOnExhaustion(t *testing.T) {
+	notified := 0
+	p := Policy{Base: time.Millisecond, MaxAttempts: 3, Notify: func(int, error) { notified++ }}
+	fake := time.Unix(0, 0)
+	r := Runner{Policy: p, Now: func() time.Time { return fake }, Sleep: func(d time.Duration) { fake = fake.Add(d) }}
+	err := r.Run(time.Hour, func(int, time.Duration) error { return errors.New("always") })
+	if err == nil {
+		t.Fatalf("want terminal error")
+	}
+	if notified != 3 {
+		t.Fatalf("notified %d times, want 3 (one per failed attempt)", notified)
+	}
+}

@@ -121,13 +121,14 @@ func (r DriveReport) String() string {
 	return b.String()
 }
 
-// arrivalStream deterministically generates the i-th..count-th offers of a
-// seeded workload replay: queries drawn uniformly from the instance, Poisson
+// Arrivals deterministically generates the StartIndex-th..Count-th offers of
+// a seeded workload replay over nq queries: queries drawn uniformly, Poisson
 // model inter-arrivals, exponential holds. The whole prefix is always drawn
-// so StartIndex resumes mid-stream bit-exactly.
-func arrivalStream(s *Server, cfg DriveConfig) []AdmitRequest {
+// so StartIndex resumes mid-stream bit-exactly. Exported so the federation
+// drill routes ONE stream across shards and every region replays the same
+// global schedule.
+func Arrivals(nq int, cfg DriveConfig) []AdmitRequest {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	nq := len(s.p.Queries)
 	at := 0.0
 	out := make([]AdmitRequest, 0, cfg.Count-cfg.StartIndex)
 	for i := 0; i < cfg.Count; i++ {
@@ -152,7 +153,7 @@ func Drive(s *Server, cfg DriveConfig) (DriveReport, error) {
 	if cfg.StartIndex < 0 || cfg.StartIndex >= cfg.Count {
 		return DriveReport{}, fmt.Errorf("server: drive start index %d of %d", cfg.StartIndex, cfg.Count)
 	}
-	arrivals := arrivalStream(s, cfg)
+	arrivals := Arrivals(len(s.p.Queries), cfg)
 	epochs0 := s.Epochs()
 
 	type inflight struct {

@@ -64,27 +64,23 @@ func (s *Server) admitHandler(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
-
-	chans := make([]<-chan result, len(reqs))
-	for i, req := range reqs {
-		ch, err := s.enqueue(req)
-		if err != nil {
-			// Decisions already enqueued still execute (and journal); the
-			// client sees the whole batch fail and may safely re-offer —
-			// re-offering is an ordinary arrival, never a double-admit.
-			httpEnqueueError(w, err)
+	// Failover fence: every request's term is compared BEFORE anything is
+	// enqueued or journaled (the termfence analyzer pins this ordering). A
+	// stale term means the batch raced a leadership change; the whole batch
+	// is answered 409 with the current term and the client re-offers.
+	for _, req := range reqs {
+		if err := s.CheckTerm(req.Term); err != nil {
+			s.writeTermFence(w, reqs, single)
 			return
 		}
-		chans[i] = ch
 	}
-	resps := make([]AdmitResponse, len(reqs))
-	for i, ch := range chans {
-		res := <-ch
-		if res.err != nil {
-			http.Error(w, res.err.Error(), http.StatusInternalServerError)
-			return
-		}
-		resps[i] = res.resp
+	resps, status, err := s.dispatch(reqs)
+	if err != nil {
+		// Decisions already enqueued still execute (and journal); the
+		// client sees the whole batch fail and may safely re-offer —
+		// re-offering is an ordinary arrival, never a double-admit.
+		http.Error(w, err.Error(), status)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -99,12 +95,45 @@ func (s *Server) admitHandler(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func httpEnqueueError(w http.ResponseWriter, err error) {
+// enqueueStatus maps an enqueue failure to its HTTP status: draining is the
+// retryable 503, anything else is a malformed request.
+func enqueueStatus(err error) int {
 	if errors.Is(err, ErrDraining) {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// writeTermFence answers a stale-term batch: 409 Conflict, every member
+// rejected with ReasonLeaderFailover and the server's current term so the
+// client can re-offer correctly fenced. Nothing was enqueued or journaled.
+func (s *Server) writeTermFence(w http.ResponseWriter, reqs []AdmitRequest, single bool) {
+	cur := s.Term()
+	resps := make([]AdmitResponse, len(reqs))
+	for i, req := range reqs {
+		resps[i] = AdmitResponse{
+			Query:   req.Query,
+			AtSec:   req.AtSec,
+			Reason:  instrument.ReasonLeaderFailover,
+			Dataset: -1,
+			Node:    -1,
+			Term:    cur,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	enc := json.NewEncoder(w)
+	if single {
+		//lint:ignore ackorder a fenced batch is rejected before anything is enqueued or journaled; there is no decision to make durable
+		if err := enc.Encode(resps[0]); err != nil {
+			return
+		}
 		return
 	}
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	//lint:ignore ackorder a fenced batch is rejected before anything is enqueued or journaled; there is no decision to make durable
+	if err := enc.Encode(resps); err != nil {
+		return
+	}
 }
 
 // stateHandler serves the engine's canonical state dump — the same object

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgerep/internal/graph"
@@ -43,6 +44,12 @@ var (
 	statRejected = instrument.NewCounter("server.rejected")
 	statEpochs   = instrument.NewCounter("server.epochs")
 	statOffers   = instrument.NewCounter("server.offers")
+	// statTermFenced counts admissions rejected at the door for carrying a
+	// stale leadership term (federation failover fencing, see CheckTerm).
+	statTermFenced = instrument.NewCounter("server.term_fenced")
+	// statForwarded counts requests routed to another region's controller
+	// because this shard does not own the query's home cloudlet.
+	statForwarded = instrument.NewCounter("server.forwarded")
 
 	histAdmitLatency = instrument.NewHistogram("server.admit_latency_seconds",
 		0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1)
@@ -127,6 +134,12 @@ type AdmitRequest struct {
 	AtSec float64 `json:"at_sec,omitempty"`
 	// HoldSec is how long the admitted allocation is held; 0 means forever.
 	HoldSec float64 `json:"hold_sec,omitempty"`
+	// Term is the leadership term the client believes it is talking to; 0
+	// opts out of fencing. A non-zero Term that does not match the server's
+	// current term is fenced with ReasonLeaderFailover before anything is
+	// enqueued or journaled — the in-flight offer of a dead leader can never
+	// double-admit through its successor.
+	Term int64 `json:"term,omitempty"`
 }
 
 // Assignment is one demand of an admitted query served from a node.
@@ -155,6 +168,10 @@ type AdmitResponse struct {
 	// active. Its sum is the server-side enqueue→response latency of this
 	// decision.
 	StageNs []int64 `json:"stage_ns,omitempty"`
+	// Term is the leadership term the decision was priced under (0 outside a
+	// federation). On a term-fenced rejection it carries the server's
+	// *current* term, so the client can re-offer correctly fenced.
+	Term int64 `json:"term,omitempty"`
 }
 
 type result struct {
@@ -213,6 +230,16 @@ type Server struct {
 	// slots is the priced-but-undelivered scratch between processEpoch's
 	// two phases, reused across epochs (only the epoch loop touches it).
 	slots []epochSlot
+
+	// term is the monotonic leadership term this server admits under (0 =
+	// unfederated). Atomic: the HTTP fencing check and the epoch loop's
+	// response stamping read it without the epoch lock.
+	term atomic.Int64
+
+	// router, when set, forwards admissions for queries this shard does not
+	// own to the owning region's controller (see forward.go). Atomic so a
+	// failover drill can swap peer tables on a live server.
+	router atomic.Pointer[Router]
 
 	start time.Time
 	base  float64
@@ -380,6 +407,7 @@ func (s *Server) processEpoch(batch []*pending) {
 	s.mu.Lock()
 	s.epochs++
 	epoch := s.epochs
+	term := s.term.Load()
 	statEpochs.Inc()
 	histEpochQueries.Observe(float64(len(batch)))
 	gaugeEpochOccupancy.Set(float64(len(batch)) / float64(s.cfg.epochMax()))
@@ -433,6 +461,7 @@ func (s *Server) processEpoch(batch []*pending) {
 			Epoch:    epoch,
 			Dataset:  -1,
 			Node:     -1,
+			Term:     term,
 		}
 		if dec.Admitted {
 			statAdmitted.Inc()
@@ -567,6 +596,44 @@ func (s *Server) Drain() error {
 	defer s.mu.Unlock()
 	s.eng.EmitEnd()
 	return s.eng.SnapshotNow()
+}
+
+// TermError reports an admission fenced for carrying a stale leadership
+// term: the client believed it was talking to term Got, the server admits
+// under Current. The client must re-offer with the current term (the offer
+// was never enqueued, never priced, never journaled).
+type TermError struct {
+	Got     int64
+	Current int64
+}
+
+func (e *TermError) Error() string {
+	return fmt.Sprintf("server: term fenced: request term %d, serving term %d", e.Got, e.Current)
+}
+
+// SetTerm installs the leadership term this server admits under. Called once
+// at startup (leader) or promotion (follower), before traffic.
+func (s *Server) SetTerm(term int64) { s.term.Store(term) }
+
+// Term returns the current leadership term (0 when unfederated).
+func (s *Server) Term() int64 { return s.term.Load() }
+
+// CheckTerm is the failover fence: a request carrying a non-zero term that
+// does not match the server's current term gets a *TermError and MUST NOT be
+// enqueued — it is an in-flight offer from before a leadership change, and
+// pricing it could double-admit a query the new leader already answered. A
+// zero request term opts out (unfederated clients, server-to-server
+// forwarding hops). The termfence analyzer holds every /admit handler to
+// calling this before anything reaches the engine.
+func (s *Server) CheckTerm(reqTerm int64) error {
+	if reqTerm == 0 {
+		return nil
+	}
+	if cur := s.term.Load(); reqTerm != cur {
+		statTermFenced.Inc()
+		return &TermError{Got: reqTerm, Current: cur}
+	}
+	return nil
 }
 
 // Crash injects the failure of node v between epochs: it takes the epoch
